@@ -1,0 +1,128 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// benchScale keeps one full experiment regeneration within a benchmark
+// iteration. The shapes at this scale match the full-size runs; use
+// cmd/ddbench -scale 1.0 for the headline numbers.
+const benchScale = 0.02
+
+// benchExperiment runs one paper table/figure end to end per iteration,
+// with a fresh result cache each time so the measurement is honest.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		out, err := RunExperiment(id, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatalf("%s produced no output", id)
+		}
+	}
+}
+
+// One benchmark per table and figure of the paper's evaluation.
+
+func BenchmarkTable1(b *testing.B)    { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B)    { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B)    { benchExperiment(b, "table3") }
+func BenchmarkFig2(b *testing.B)      { benchExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B)      { benchExperiment(b, "fig3") }
+func BenchmarkFig5(b *testing.B)      { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)      { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)      { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)      { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)      { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)     { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)     { benchExperiment(b, "fig11") }
+func BenchmarkL2Traffic(b *testing.B) { benchExperiment(b, "l2traffic") }
+
+// Extension experiments (beyond the paper's figures).
+
+func BenchmarkAblationSteering(b *testing.B) { benchExperiment(b, "ablation-steering") }
+func BenchmarkAblationCombine(b *testing.B)  { benchExperiment(b, "ablation-combine") }
+func BenchmarkAblationTLB(b *testing.B)      { benchExperiment(b, "ablation-tlb") }
+func BenchmarkPortModels(b *testing.B)       { benchExperiment(b, "alt-portmodel") }
+func BenchmarkInputSensitivity(b *testing.B) { benchExperiment(b, "ext-input-sensitivity") }
+
+// Component micro-benchmarks: how fast the substrates themselves are.
+
+func BenchmarkEmulator(b *testing.B) {
+	w, err := WorkloadByName("compress")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := w.Program(0.1)
+	b.ResetTimer()
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		m := NewMachine(prog)
+		if _, err := m.Run(0); err != nil {
+			b.Fatal(err)
+		}
+		insts += m.InstCount
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+func BenchmarkTimingCoreUnified(b *testing.B) {
+	benchTiming(b, 2, 0, false)
+}
+
+func BenchmarkTimingCoreDecoupled(b *testing.B) {
+	benchTiming(b, 2, 2, true)
+}
+
+func benchTiming(b *testing.B, n, m int, opt bool) {
+	b.Helper()
+	w, err := WorkloadByName("vortex")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := w.Program(0.1)
+	cfg := DefaultConfig().WithPorts(n, m)
+	if opt {
+		cfg = cfg.WithOptimizations(2)
+	}
+	b.ResetTimer()
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		res, err := RunProgram(prog, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += res.Committed
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+func BenchmarkAssembler(b *testing.B) {
+	w, err := WorkloadByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := w.Source(0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Assemble("gcc.s", src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	all := workload.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, w := range all {
+			if len(w.Source(0.1)) == 0 {
+				b.Fatal("empty source")
+			}
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Command ddasm assembles, disassembles and functionally runs programs
+// written in the simulator's ISA.
+//
+// Usage:
+//
+//	ddasm -d program.s             # assemble and disassemble
+//	ddasm -run program.s           # assemble and emulate, print OUT trace
+//	ddasm -dump-workload li        # print a generated workload's source
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/emu"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		dis     = flag.Bool("d", false, "print disassembly")
+		run     = flag.Bool("run", false, "run on the functional emulator")
+		maxInst = flag.Uint64("maxinst", 100_000_000, "emulation instruction budget")
+		dumpW   = flag.String("dump-workload", "", "print a workload's generated assembly and exit")
+		scale   = flag.Float64("scale", 0.1, "scale for -dump-workload")
+	)
+	flag.Parse()
+
+	if *dumpW != "" {
+		w, err := workload.ByName(*dumpW)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(w.Source(*scale))
+		return
+	}
+
+	if flag.NArg() != 1 {
+		fatal(fmt.Errorf("need exactly one assembly file"))
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := asm.Assemble(path, string(src))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("assembled %s: %d instructions, %d data bytes, entry %#x\n",
+		path, len(prog.Text), len(prog.Data), prog.Entry)
+
+	if *dis {
+		fmt.Print(prog.Disassemble())
+	}
+	if *run {
+		m := emu.New(prog)
+		halted, err := m.Run(*maxInst)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("executed %d instructions (halted=%v)\n", m.InstCount, halted)
+		for i, v := range m.Output {
+			fmt.Printf("out[%d] = %d\n", i, v)
+		}
+		for i, v := range m.FOutput {
+			fmt.Printf("fout[%d] = %g\n", i, v)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ddasm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+// Command ddbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ddbench -list
+//	ddbench -exp fig7 -scale 0.5
+//	ddbench -exp all -scale 1.0 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id or 'all'")
+		scale = flag.Float64("scale", 1.0, "workload scale factor")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		verb  = flag.Bool("v", false, "print per-simulation progress")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.AllExperiments() {
+			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	r := experiments.NewRunner(*scale)
+	if *verb {
+		r.Progress = os.Stderr
+	}
+
+	var selected []experiments.Experiment
+	if *exp == "all" {
+		selected = experiments.AllExperiments()
+	} else {
+		e, err := experiments.ByID(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ddbench:", err)
+			os.Exit(1)
+		}
+		selected = []experiments.Experiment{e}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		out, err := e.Run(r)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ddbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("==> %s — %s\n", e.ID, e.Title)
+		fmt.Println(out)
+		if *verb {
+			fmt.Fprintf(os.Stderr, "  [%s took %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Command ddprof characterizes a workload or assembly file on the
+// functional emulator: instruction mix, local-access fractions (paper
+// Figure 2), frame-size distribution (Figure 3), call behaviour, and LVC
+// miss rates across sizes (Figure 6).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/profile"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		wname = flag.String("w", "", "workload name")
+		file  = flag.String("f", "", "assembly file")
+		scale = flag.Float64("scale", 1.0, "workload scale factor")
+		lvc   = flag.Bool("lvc", false, "also sweep LVC sizes (Figure 6 data)")
+	)
+	flag.Parse()
+
+	var prog *asm.Program
+	switch {
+	case *file != "":
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err = asm.Assemble(*file, string(src))
+		if err != nil {
+			fatal(err)
+		}
+	case *wname != "":
+		w, err := workload.ByName(*wname)
+		if err != nil {
+			fatal(err)
+		}
+		prog = w.Program(*scale)
+	default:
+		fatal(fmt.Errorf("need -w <workload> or -f <file>"))
+	}
+
+	p, err := profile.Run(prog, 0)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("instructions      %d\n", p.Insts)
+	fmt.Printf("loads             %d (%.1f%% of insts, %.1f%% local)\n",
+		p.Loads, 100*p.LoadFreq(), stats.Pct(p.LocalLoads, p.Loads))
+	fmt.Printf("stores            %d (%.1f%% of insts, %.1f%% local)\n",
+		p.Stores, 100*p.StoreFreq(), stats.Pct(p.LocalStores, p.Stores))
+	fmt.Printf("local refs        %.1f%% of all memory references\n", 100*p.LocalFraction())
+	fmt.Printf("sp/fp-indexed     %.1f%% of local refs\n", stats.Pct(p.SPIndexedLocal, p.LocalRefs()))
+	fmt.Printf("calls             %d (max depth %d)\n", p.Calls, p.MaxCallDepth)
+	if p.DynFrames.Total() > 0 {
+		fmt.Printf("dyn frames        mean %.1f words, p50 %d, p90 %d, p99 %d, max %d\n",
+			p.DynFrames.Mean(), p.DynFrames.Percentile(0.5),
+			p.DynFrames.Percentile(0.9), p.DynFrames.Percentile(0.99), p.DynFrames.Max())
+		sf := p.StaticFrames()
+		fmt.Printf("static frames     %d sites, mean %.1f words, max %d\n",
+			sf.Total(), sf.Mean(), sf.Max())
+	}
+	fmt.Printf("static mem insts  %d hinted, %d unhinted\n", p.HintedMemPCs, p.UnhintedMemPCs)
+
+	if *lvc {
+		fmt.Println("\nLVC miss rates (direct-mapped, 32B lines):")
+		for _, size := range []int{512, 1024, 2048, 4096} {
+			res, err := profile.SimulateLVC(prog, size, 32, 1, 0)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  %4dB: %.3f%% (%d local refs)\n",
+				size, 100*res.Stats.MissRate(), res.LocalRefs)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ddprof:", err)
+	os.Exit(1)
+}

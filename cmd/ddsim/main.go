@@ -1,0 +1,113 @@
+// Command ddsim runs one workload (or an assembly file) on the timing
+// simulator under one (N+M) configuration and prints the statistics block.
+//
+// Usage:
+//
+//	ddsim -w vortex -ports 2+2 -opt -scale 0.5
+//	ddsim -f program.s -ports 3+2 -steer sp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		wname   = flag.String("w", "", "workload name (see -list)")
+		file    = flag.String("f", "", "assembly file to simulate instead of a workload")
+		ports   = flag.String("ports", "2+0", "(N+M) port configuration, e.g. 3+2")
+		scale   = flag.Float64("scale", 1.0, "workload scale factor")
+		opt     = flag.Bool("opt", false, "enable fast data forwarding and 2-way combining")
+		combine = flag.Int("combine", 0, "access combining width (overrides -opt's 2)")
+		steer   = flag.String("steer", "hint", "steering policy: hint, sp, oracle")
+		maxInst = flag.Uint64("maxinst", 0, "commit budget (0 = run to halt)")
+		list    = flag.Bool("list", false, "list available workloads and exit")
+		traceN  = flag.Int("trace", 0, "print a pipeline trace of the first N instructions")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range workload.All() {
+			fmt.Printf("%-10s %-12s %s\n", w.Name, w.PaperName, w.Kind)
+		}
+		return
+	}
+
+	n, m, err := config.ParseNM(*ports)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := config.Default().WithPorts(n, m)
+	if *opt {
+		cfg = cfg.WithOptimizations(2)
+	}
+	if *combine > 0 {
+		cfg.CombineWidth = *combine
+	}
+	switch *steer {
+	case "hint":
+		cfg.Steering = config.SteerHint
+	case "sp":
+		cfg.Steering = config.SteerSP
+	case "oracle":
+		cfg.Steering = config.SteerOracle
+	default:
+		fatal(fmt.Errorf("unknown steering policy %q", *steer))
+	}
+	cfg.MaxInsts = *maxInst
+
+	var prog *asm.Program
+	switch {
+	case *file != "":
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err = asm.Assemble(*file, string(src))
+		if err != nil {
+			fatal(err)
+		}
+	case *wname != "":
+		w, err := workload.ByName(*wname)
+		if err != nil {
+			fatal(err)
+		}
+		prog = w.Program(*scale)
+	default:
+		fatal(fmt.Errorf("need -w <workload> or -f <file>; see -list"))
+	}
+
+	c, err := core.New(prog, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	var rec *trace.Recorder
+	if *traceN > 0 {
+		rec = trace.NewRecorder(*traceN)
+		c.SetTracer(rec)
+	}
+	res, err := c.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res)
+	if rec != nil {
+		fmt.Println()
+		fmt.Print(trace.Render(rec.Events))
+		fmt.Println()
+		fmt.Print(trace.Summary(rec.Events))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ddsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,55 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// Assemble and run a tiny program on the timing simulator.
+func ExampleRunProgram() {
+	prog, err := repro.Assemble("hello.s", `
+        .text
+main:
+        li  $t0, 40
+        addi $t0, $t0, 2
+        out $t0
+        halt
+`)
+	if err != nil {
+		panic(err)
+	}
+	res, err := repro.RunProgram(prog, repro.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Output[0], res.Committed)
+	// Output: 42 4
+}
+
+// Look a benchmark up by its SPEC95 name and inspect its metadata.
+func ExampleWorkloadByName() {
+	w, err := repro.WorkloadByName("147.vortex")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(w.Name, w.Kind)
+	// Output: vortex int
+}
+
+// Parse the paper's (N+M) port notation.
+func ExampleParseNM() {
+	n, m, _ := repro.ParseNM("(3+2)")
+	cfg := repro.DefaultConfig().WithPorts(n, m)
+	fmt.Println(cfg.Name(), cfg.Decoupled())
+	// Output: (3+2) true
+}
+
+// Compare the unified and decoupled memory systems on a workload.
+func ExampleRun() {
+	w, _ := repro.WorkloadByName("vortex")
+	base, _ := repro.Run(w, 0.02, repro.DefaultConfig().WithPorts(2, 0))
+	dec, _ := repro.Run(w, 0.02, repro.DefaultConfig().WithPorts(2, 2).WithOptimizations(2))
+	fmt.Println(dec.Cycles < base.Cycles)
+	// Output: true
+}

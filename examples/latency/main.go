@@ -1,0 +1,45 @@
+// Latency: reproduces the paper's §4.3 argument — if wiring a 4-port data
+// cache forces the hit time from 2 to 3 cycles, the big unified cache
+// loses to a modest decoupled (2+2) machine on the integer suite.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	fmt.Println("When more ports cost a cycle of latency (paper Figure 10):")
+	fmt.Printf("%-10s %10s %12s %10s\n", "program", "(4+0)@2cy", "(4+0)@3cy", "(2+2)opt")
+
+	for _, name := range []string{"go", "li", "vortex", "gcc"} {
+		w, err := repro.WorkloadByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prog := w.Program(0.3)
+
+		fast := repro.DefaultConfig().WithPorts(4, 0)
+		slow := fast
+		slow.L1.HitLatency = 3
+		dec := repro.DefaultConfig().WithPorts(2, 2).WithOptimizations(2)
+
+		r1, err := repro.RunProgram(prog, fast)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r2, err := repro.RunProgram(prog, slow)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r3, err := repro.RunProgram(prog, dec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %10.3f %12.3f %10.3f   (IPC)\n", name, r1.IPC(), r2.IPC(), r3.IPC())
+	}
+	fmt.Println("\nThe decoupled machine keeps its 2-cycle L1 and a 1-cycle LVC,")
+	fmt.Println("so it beats the slowed 4-port design on call-heavy integer code.")
+}

@@ -1,0 +1,74 @@
+// Quickstart: assemble a small recursive program, verify it functionally,
+// then compare the unified (2+0) memory system against the data-decoupled
+// (2+2) configuration from the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+const source = `
+        .text
+        .global main
+main:
+        li   $a0, 18
+        jal  fib
+        out  $v0
+        halt
+
+# fib(n): deliberately naive recursion — every call pushes a small frame,
+# exactly the local-variable traffic the LVC is built for.
+fib:
+        addi $sp, $sp, -12
+        sw   $ra, 8($sp) !local
+        sw   $s0, 4($sp) !local
+        sw   $a0, 0($sp) !local
+        li   $v0, 1
+        slti $t0, $a0, 2
+        bnez $t0, done
+        addi $a0, $a0, -1
+        jal  fib
+        move $s0, $v0
+        lw   $a0, 0($sp) !local
+        addi $a0, $a0, -2
+        jal  fib
+        add  $v0, $v0, $s0
+done:
+        lw   $s0, 4($sp) !local
+        lw   $ra, 8($sp) !local
+        addi $sp, $sp, 12
+        jr   $ra
+`
+
+func main() {
+	prog, err := repro.Assemble("fib.s", source)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Functional check on the emulator first.
+	m := repro.NewMachine(prog)
+	if _, err := m.Run(50_000_000); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fib(18) = %d (%d instructions)\n\n", m.Output[0], m.InstCount)
+
+	// Timing: unified vs decoupled memory system.
+	for _, cfg := range []repro.Config{
+		repro.DefaultConfig().WithPorts(2, 0),
+		repro.DefaultConfig().WithPorts(2, 2).WithOptimizations(2),
+	} {
+		res, err := repro.RunProgram(prog, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s IPC %.3f  cycles %-8d  LVC accesses %d  fwd loads %d (fast %d)\n",
+			cfg.Name(), res.IPC(), res.Cycles, res.LVC.Accesses(),
+			res.FwdLoads, res.FastFwdLoads)
+	}
+	fmt.Println("\nEvery memory reference in fib is a stack access, so the (2+2)")
+	fmt.Println("machine serves them from the 1-cycle LVC and frees the L1 ports.")
+}

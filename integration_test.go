@@ -1,0 +1,129 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestTimingCoreMatchesEmulatorEverywhere is the end-to-end functional
+// guarantee: for every workload and a spread of machine configurations
+// (unified, decoupled, optimized, differently steered, port-starved), the
+// timing core must produce exactly the observable output of the
+// functional emulator. Timing bugs that corrupt ordering or steering show
+// up here.
+func TestTimingCoreMatchesEmulatorEverywhere(t *testing.T) {
+	const scale = 0.02
+	cfgs := []Config{
+		DefaultConfig().WithPorts(1, 0),
+		DefaultConfig().WithPorts(2, 0),
+		DefaultConfig().WithPorts(2, 2),
+		DefaultConfig().WithPorts(3, 2).WithOptimizations(2),
+		DefaultConfig().WithPorts(3, 1).WithOptimizations(4),
+	}
+	spCfg := DefaultConfig().WithPorts(2, 2).WithOptimizations(2)
+	spCfg.Steering = SteerSP
+	cfgs = append(cfgs, spCfg)
+
+	for _, w := range Workloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			prog := w.Program(scale)
+			ref := NewMachine(prog)
+			if _, err := ref.Run(0); err != nil {
+				t.Fatalf("emulator: %v", err)
+			}
+			for _, cfg := range cfgs {
+				res, err := RunProgram(prog, cfg)
+				if err != nil {
+					t.Fatalf("%s: %v", cfgName(cfg), err)
+				}
+				if res.Committed != ref.InstCount {
+					t.Errorf("%s: committed %d, emulator ran %d",
+						cfgName(cfg), res.Committed, ref.InstCount)
+				}
+				if len(res.Output) != len(ref.Output) {
+					t.Fatalf("%s: %d outputs, want %d",
+						cfgName(cfg), len(res.Output), len(ref.Output))
+				}
+				for i := range ref.Output {
+					if res.Output[i] != ref.Output[i] {
+						t.Fatalf("%s: output[%d] = %d, want %d",
+							cfgName(cfg), i, res.Output[i], ref.Output[i])
+					}
+				}
+				for i := range ref.FOutput {
+					if res.FOutput[i] != ref.FOutput[i] {
+						t.Fatalf("%s: foutput[%d] = %g, want %g",
+							cfgName(cfg), i, res.FOutput[i], ref.FOutput[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func cfgName(c Config) string {
+	return fmt.Sprintf("%s ff=%v cw=%d steer=%v", c.Name(), c.FastForward, c.CombineWidth, c.Steering)
+}
+
+// TestDecoupledNeverLosesBadly: across the whole suite, the decoupled
+// (2+2) configuration with optimizations must stay within a few percent
+// of (2+0) in the worst case and win on the call-heavy programs — the
+// paper's bottom-line claim (§4.4).
+func TestDecoupledNeverLosesBadly(t *testing.T) {
+	const scale = 0.03
+	var wins int
+	for _, w := range Workloads() {
+		prog := w.Program(scale)
+		base, err := RunProgram(prog, DefaultConfig().WithPorts(2, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := RunProgram(prog, DefaultConfig().WithPorts(2, 2).WithOptimizations(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := float64(base.Cycles) / float64(dec.Cycles)
+		if rel < 0.95 {
+			t.Errorf("%s: (2+2) loses %.1f%% vs (2+0)", w.Name, 100*(1-rel))
+		}
+		if rel > 1.02 {
+			wins++
+		}
+	}
+	if wins < 4 {
+		t.Errorf("decoupling won >2%% on only %d programs", wins)
+	}
+}
+
+// TestSuiteQueueBalance: with decoupling on, both queues must carry
+// meaningful traffic across the integer suite (the load-balancing
+// requirement of §2.1).
+func TestSuiteQueueBalance(t *testing.T) {
+	const scale = 0.02
+	for _, w := range Workloads() {
+		if w.Kind.String() != "int" {
+			continue
+		}
+		res, err := Run(w, scale, DefaultConfig().WithPorts(2, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := res.LSQDispatched + res.LVAQDispatched
+		if total == 0 {
+			t.Fatalf("%s: no memory traffic", w.Name)
+		}
+		lvaqShare := float64(res.LVAQDispatched) / float64(total)
+		// compress is calibrated to the paper's low end (~10% local at
+		// full scale, nearly all of it in rare flush calls), so only
+		// require non-zero traffic there.
+		minShare := 0.02
+		if w.Name == "compress" {
+			minShare = 0.0005
+		}
+		if lvaqShare <= minShare {
+			t.Errorf("%s: LVAQ carries only %.2f%% of refs", w.Name, 100*lvaqShare)
+		}
+	}
+}

@@ -1,0 +1,498 @@
+package asm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Assemble assembles source into a Program. name is used in error messages
+// and stored in the Program.
+func Assemble(name, source string) (*Program, error) {
+	a := &assembler{
+		name:    name,
+		symbols: make(map[string]uint32),
+	}
+	lines := strings.Split(source, "\n")
+
+	// Pass 1: parse every line, expand pseudo-instructions structurally,
+	// assign addresses to labels.
+	for i, raw := range lines {
+		if err := a.scanLine(i+1, raw); err != nil {
+			a.errs = append(a.errs, err)
+		}
+	}
+	// Pass 2: encode instructions and data now that all labels are known.
+	for _, st := range a.stmts {
+		if err := a.emit(st); err != nil {
+			a.errs = append(a.errs, err)
+		}
+	}
+	if len(a.errs) > 0 {
+		return nil, errors.Join(a.errs...)
+	}
+
+	p := &Program{
+		Name:     name,
+		TextBase: isa.TextBase,
+		Text:     a.text,
+		DataBase: isa.DataBase,
+		Data:     a.data,
+		Symbols:  a.symbols,
+	}
+	entry := isa.TextBase
+	if addr, ok := a.symbols[a.global]; ok && a.global != "" {
+		entry = addr
+	} else if addr, ok := a.symbols["main"]; ok {
+		entry = addr
+	}
+	p.Entry = entry
+	return p, nil
+}
+
+// MustAssemble is Assemble for known-good (generated) sources; it panics
+// on error.
+func MustAssemble(name, source string) *Program {
+	p, err := Assemble(name, source)
+	if err != nil {
+		panic(fmt.Sprintf("asm: %s: %v", name, err))
+	}
+	return p
+}
+
+type section uint8
+
+const (
+	secText section = iota
+	secData
+)
+
+// stmt is one parsed source statement carried from pass 1 to pass 2.
+type stmt struct {
+	line      int
+	mnemonic  string   // lowercase opcode or pseudo-op name ("" for data)
+	operands  []string // comma-split operand fields
+	hint      isa.Hint
+	addr      uint32 // assigned address (text) or data offset (data)
+	directive string // nonempty for data-emitting directives
+	args      []string
+}
+
+type assembler struct {
+	name    string
+	errs    []error
+	symbols map[string]uint32
+	global  string
+
+	sec     section
+	textPos uint32 // next instruction slot index
+	dataPos uint32 // next data offset in bytes
+
+	stmts []stmt
+	text  []isa.Inst
+	data  []byte
+}
+
+func (a *assembler) errf(line int, format string, args ...any) error {
+	return fmt.Errorf("%s:%d: %s", a.name, line, fmt.Sprintf(format, args...))
+}
+
+// scanLine handles pass 1 for a single source line.
+func (a *assembler) scanLine(line int, raw string) error {
+	if i := strings.IndexByte(raw, '#'); i >= 0 {
+		raw = raw[:i]
+	}
+	raw = strings.TrimSpace(raw)
+
+	// Leading labels (possibly several on one line).
+	for {
+		i := strings.IndexByte(raw, ':')
+		if i < 0 {
+			break
+		}
+		label := strings.TrimSpace(raw[:i])
+		if !isIdent(label) {
+			break
+		}
+		if _, dup := a.symbols[label]; dup {
+			return a.errf(line, "duplicate label %q", label)
+		}
+		a.symbols[label] = a.here()
+		raw = strings.TrimSpace(raw[i+1:])
+	}
+	if raw == "" {
+		return nil
+	}
+
+	if strings.HasPrefix(raw, ".") {
+		return a.scanDirective(line, raw)
+	}
+	if a.sec != secText {
+		return a.errf(line, "instruction outside .text: %q", raw)
+	}
+
+	mnemonic, rest, _ := strings.Cut(raw, " ")
+	mnemonic = strings.ToLower(mnemonic)
+	hint := isa.HintNone
+	rest = strings.TrimSpace(rest)
+	if cut, ok := strings.CutSuffix(rest, "!local"); ok {
+		hint, rest = isa.HintLocal, strings.TrimSpace(cut)
+	} else if cut, ok := strings.CutSuffix(rest, "!nonlocal"); ok {
+		hint, rest = isa.HintNonLocal, strings.TrimSpace(cut)
+	}
+	var operands []string
+	if rest != "" {
+		operands = strings.Split(rest, ",")
+		for i := range operands {
+			operands[i] = strings.TrimSpace(operands[i])
+		}
+	}
+
+	st := stmt{line: line, mnemonic: mnemonic, operands: operands, hint: hint,
+		addr: isa.TextBase + a.textPos*isa.InstBytes}
+	a.stmts = append(a.stmts, st)
+	a.textPos++ // every instruction (incl. pseudo) occupies exactly one slot
+	return nil
+}
+
+// here returns the address a label defined at the current position binds to.
+func (a *assembler) here() uint32 {
+	if a.sec == secText {
+		return isa.TextBase + a.textPos*isa.InstBytes
+	}
+	return isa.DataBase + a.dataPos
+}
+
+func (a *assembler) scanDirective(line int, raw string) error {
+	name, rest, _ := strings.Cut(raw, " ")
+	rest = strings.TrimSpace(rest)
+	var args []string
+	if rest != "" {
+		args = strings.Split(rest, ",")
+		for i := range args {
+			args[i] = strings.TrimSpace(args[i])
+		}
+	}
+	switch name {
+	case ".text":
+		a.sec = secText
+	case ".data":
+		a.sec = secData
+	case ".global", ".globl":
+		if len(args) != 1 {
+			return a.errf(line, "%s needs one symbol", name)
+		}
+		a.global = args[0]
+	case ".align":
+		if a.sec != secData || len(args) != 1 {
+			return a.errf(line, ".align needs one argument and a .data section")
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n <= 0 || n&(n-1) != 0 {
+			return a.errf(line, ".align argument must be a positive power of two")
+		}
+		a.dataPos = (a.dataPos + uint32(n) - 1) &^ (uint32(n) - 1)
+	case ".space":
+		if a.sec != secData || len(args) != 1 {
+			return a.errf(line, ".space needs one argument and a .data section")
+		}
+		n, err := strconv.ParseUint(args[0], 0, 32)
+		if err != nil {
+			return a.errf(line, "bad .space size %q", args[0])
+		}
+		a.stmts = append(a.stmts, stmt{line: line, directive: ".space", args: args, addr: a.dataPos})
+		a.dataPos += uint32(n)
+	case ".byte", ".half", ".word", ".float", ".double":
+		if a.sec != secData {
+			return a.errf(line, "%s outside .data", name)
+		}
+		// Data is emitted packed: no implicit alignment, so that labels
+		// (which bind before the directive is seen) always match the data
+		// position. Use an explicit .align directive where needed.
+		size := map[string]uint32{".byte": 1, ".half": 2, ".word": 4, ".float": 4, ".double": 8}[name]
+		a.stmts = append(a.stmts, stmt{line: line, directive: name, args: args, addr: a.dataPos})
+		a.dataPos += size * uint32(len(args))
+	default:
+		return a.errf(line, "unknown directive %s", name)
+	}
+	return nil
+}
+
+// emit handles pass 2 for a single statement.
+func (a *assembler) emit(st stmt) error {
+	if st.directive != "" {
+		return a.emitData(st)
+	}
+	in, err := a.encodeInst(st)
+	if err != nil {
+		return err
+	}
+	in.Hint = st.hint
+	a.text = append(a.text, in)
+	return nil
+}
+
+func (a *assembler) emitData(st stmt) error {
+	// Pad with zeros up to the statement's assigned offset (alignment).
+	for uint32(len(a.data)) < st.addr {
+		a.data = append(a.data, 0)
+	}
+	switch st.directive {
+	case ".space":
+		n, _ := strconv.ParseUint(st.args[0], 0, 32)
+		a.data = append(a.data, make([]byte, n)...)
+	case ".byte", ".half", ".word":
+		size := map[string]int{".byte": 1, ".half": 2, ".word": 4}[st.directive]
+		for _, arg := range st.args {
+			v, err := a.resolveValue(st.line, arg)
+			if err != nil {
+				return err
+			}
+			var buf [4]byte
+			binary.LittleEndian.PutUint32(buf[:], uint32(v))
+			a.data = append(a.data, buf[:size]...)
+		}
+	case ".float":
+		for _, arg := range st.args {
+			f, err := strconv.ParseFloat(arg, 32)
+			if err != nil {
+				return a.errf(st.line, "bad float %q", arg)
+			}
+			a.data = binary.LittleEndian.AppendUint32(a.data, math.Float32bits(float32(f)))
+		}
+	case ".double":
+		for _, arg := range st.args {
+			f, err := strconv.ParseFloat(arg, 64)
+			if err != nil {
+				return a.errf(st.line, "bad double %q", arg)
+			}
+			a.data = binary.LittleEndian.AppendUint64(a.data, math.Float64bits(f))
+		}
+	}
+	return nil
+}
+
+// resolveValue resolves an integer literal or label reference.
+func (a *assembler) resolveValue(line int, s string) (int32, error) {
+	if v, err := strconv.ParseInt(s, 0, 64); err == nil {
+		if v < math.MinInt32 || v > math.MaxUint32 {
+			return 0, a.errf(line, "value %s out of 32-bit range", s)
+		}
+		return int32(uint32(v)), nil
+	}
+	if addr, ok := a.symbols[s]; ok {
+		return int32(addr), nil
+	}
+	return 0, a.errf(line, "undefined symbol or bad value %q", s)
+}
+
+func (a *assembler) reg(line int, s string) (isa.Reg, error) {
+	name, ok := strings.CutPrefix(s, "$")
+	if !ok {
+		return 0, a.errf(line, "expected register, got %q", s)
+	}
+	r, ok := isa.RegByName(name)
+	if !ok {
+		return 0, a.errf(line, "unknown register %q", s)
+	}
+	return r, nil
+}
+
+// memOperand parses "imm(reg)".
+func (a *assembler) memOperand(line int, s string) (int32, isa.Reg, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, a.errf(line, "expected imm(reg), got %q", s)
+	}
+	imm := int32(0)
+	if offs := strings.TrimSpace(s[:open]); offs != "" {
+		v, err := a.resolveValue(line, offs)
+		if err != nil {
+			return 0, 0, err
+		}
+		imm = v
+	}
+	r, err := a.reg(line, strings.TrimSpace(s[open+1:len(s)-1]))
+	return imm, r, err
+}
+
+func (a *assembler) branchOffset(line int, target string, pc uint32) (int32, error) {
+	addr, ok := a.symbols[target]
+	if !ok {
+		v, err := strconv.ParseInt(target, 0, 32)
+		if err != nil {
+			return 0, a.errf(line, "undefined branch target %q", target)
+		}
+		return int32(v), nil // raw slot offset, mostly for tests
+	}
+	return (int32(addr) - int32(pc+isa.InstBytes)) / isa.InstBytes, nil
+}
+
+func (a *assembler) wantOperands(st stmt, n int) error {
+	if len(st.operands) != n {
+		return a.errf(st.line, "%s expects %d operands, got %d", st.mnemonic, n, len(st.operands))
+	}
+	return nil
+}
+
+func (a *assembler) encodeInst(st stmt) (isa.Inst, error) {
+	// Pseudo-instructions first.
+	switch st.mnemonic {
+	case "li", "la":
+		if err := a.wantOperands(st, 2); err != nil {
+			return isa.Inst{}, err
+		}
+		rd, err := a.reg(st.line, st.operands[0])
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		v, err := a.resolveValue(st.line, st.operands[1])
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: isa.ADDI, Rd: rd, Rs: isa.RegZero, Imm: v}, nil
+	case "move":
+		if err := a.wantOperands(st, 2); err != nil {
+			return isa.Inst{}, err
+		}
+		rd, err := a.reg(st.line, st.operands[0])
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		rs, err := a.reg(st.line, st.operands[1])
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		if rd.IsFP() || rs.IsFP() {
+			return isa.Inst{Op: isa.FMOV, Rd: rd, Rs: rs}, nil
+		}
+		return isa.Inst{Op: isa.ADDI, Rd: rd, Rs: rs, Imm: 0}, nil
+	case "b":
+		if err := a.wantOperands(st, 1); err != nil {
+			return isa.Inst{}, err
+		}
+		st.mnemonic, st.operands = "beq", []string{"$zero", "$zero", st.operands[0]}
+	case "beqz":
+		if err := a.wantOperands(st, 2); err != nil {
+			return isa.Inst{}, err
+		}
+		st.mnemonic, st.operands = "beq", []string{st.operands[0], "$zero", st.operands[1]}
+	case "bnez":
+		if err := a.wantOperands(st, 2); err != nil {
+			return isa.Inst{}, err
+		}
+		st.mnemonic, st.operands = "bne", []string{st.operands[0], "$zero", st.operands[1]}
+	case "ret":
+		st.mnemonic, st.operands = "jr", []string{"$ra"}
+	case "subi":
+		if err := a.wantOperands(st, 3); err != nil {
+			return isa.Inst{}, err
+		}
+		v, err := a.resolveValue(st.line, st.operands[2])
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		st.mnemonic = "addi"
+		st.operands[2] = strconv.FormatInt(int64(-v), 10)
+	}
+
+	op, ok := isa.OpByName(st.mnemonic)
+	if !ok {
+		return isa.Inst{}, a.errf(st.line, "unknown mnemonic %q", st.mnemonic)
+	}
+	info := op.Info()
+	in := isa.Inst{Op: op}
+	var err error
+	switch info.Fmt {
+	case isa.FmtNone:
+		err = a.wantOperands(st, 0)
+	case isa.FmtR:
+		if err = a.wantOperands(st, 3); err == nil {
+			if in.Rd, err = a.reg(st.line, st.operands[0]); err == nil {
+				if in.Rs, err = a.reg(st.line, st.operands[1]); err == nil {
+					in.Rt, err = a.reg(st.line, st.operands[2])
+				}
+			}
+		}
+	case isa.FmtR2, isa.FmtJALR:
+		if err = a.wantOperands(st, 2); err == nil {
+			if in.Rd, err = a.reg(st.line, st.operands[0]); err == nil {
+				in.Rs, err = a.reg(st.line, st.operands[1])
+			}
+		}
+	case isa.FmtI:
+		if err = a.wantOperands(st, 3); err == nil {
+			if in.Rd, err = a.reg(st.line, st.operands[0]); err == nil {
+				if in.Rs, err = a.reg(st.line, st.operands[1]); err == nil {
+					in.Imm, err = a.resolveValue(st.line, st.operands[2])
+				}
+			}
+		}
+	case isa.FmtLUI:
+		if err = a.wantOperands(st, 2); err == nil {
+			if in.Rd, err = a.reg(st.line, st.operands[0]); err == nil {
+				in.Imm, err = a.resolveValue(st.line, st.operands[1])
+			}
+		}
+	case isa.FmtMem:
+		if err = a.wantOperands(st, 2); err == nil {
+			if in.Rd, err = a.reg(st.line, st.operands[0]); err == nil {
+				in.Imm, in.Rs, err = a.memOperand(st.line, st.operands[1])
+			}
+		}
+	case isa.FmtMemS:
+		if err = a.wantOperands(st, 2); err == nil {
+			if in.Rt, err = a.reg(st.line, st.operands[0]); err == nil {
+				in.Imm, in.Rs, err = a.memOperand(st.line, st.operands[1])
+			}
+		}
+	case isa.FmtBr:
+		if err = a.wantOperands(st, 3); err == nil {
+			if in.Rs, err = a.reg(st.line, st.operands[0]); err == nil {
+				if in.Rt, err = a.reg(st.line, st.operands[1]); err == nil {
+					in.Imm, err = a.branchOffset(st.line, st.operands[2], st.addr)
+				}
+			}
+		}
+	case isa.FmtBrZ:
+		if err = a.wantOperands(st, 2); err == nil {
+			if in.Rs, err = a.reg(st.line, st.operands[0]); err == nil {
+				in.Imm, err = a.branchOffset(st.line, st.operands[1], st.addr)
+			}
+		}
+	case isa.FmtJ:
+		if err = a.wantOperands(st, 1); err == nil {
+			in.Imm, err = a.resolveValue(st.line, st.operands[0])
+		}
+	case isa.FmtJR, isa.FmtOut:
+		if err = a.wantOperands(st, 1); err == nil {
+			in.Rs, err = a.reg(st.line, st.operands[0])
+		}
+	default:
+		err = a.errf(st.line, "unhandled format for %s", st.mnemonic)
+	}
+	return in, err
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,286 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func mustAssemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble("test.s", src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func TestBasicProgram(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+        .global main
+main:
+        addi $sp, $sp, -16
+        sw   $ra, 12($sp) !local
+        li   $t0, 42
+        lw   $ra, 12($sp) !local
+        addi $sp, $sp, 16
+        halt
+`)
+	if p.Entry != isa.TextBase {
+		t.Errorf("entry = %#x, want %#x", p.Entry, isa.TextBase)
+	}
+	if len(p.Text) != 6 {
+		t.Fatalf("text length = %d, want 6", len(p.Text))
+	}
+	if p.Text[0].Op != isa.ADDI || p.Text[0].Imm != -16 || p.Text[0].Rd != isa.RegSP {
+		t.Errorf("inst 0 = %v", p.Text[0])
+	}
+	if p.Text[1].Op != isa.SW || p.Text[1].Hint != isa.HintLocal || p.Text[1].Rt != isa.RegRA {
+		t.Errorf("inst 1 = %v (hint %v)", p.Text[1], p.Text[1].Hint)
+	}
+	if p.Text[2].Op != isa.ADDI || p.Text[2].Imm != 42 || p.Text[2].Rs != isa.RegZero {
+		t.Errorf("li expansion = %v", p.Text[2])
+	}
+	if p.Text[5].Op != isa.HALT {
+		t.Errorf("inst 5 = %v", p.Text[5])
+	}
+}
+
+func TestBranchOffsets(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+main:
+loop:
+        addi $t0, $t0, 1
+        bne  $t0, $t1, loop
+        beq  $t0, $t1, done
+        nop
+done:
+        halt
+`)
+	// bne at slot 1 targets slot 0: offset = 0 - 2 = -2.
+	if p.Text[1].Imm != -2 {
+		t.Errorf("backward branch imm = %d, want -2", p.Text[1].Imm)
+	}
+	// beq at slot 2 targets slot 4: offset = 4 - 3 = 1.
+	if p.Text[2].Imm != 1 {
+		t.Errorf("forward branch imm = %d, want 1", p.Text[2].Imm)
+	}
+}
+
+func TestJumpAbsolute(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+main:
+        jal  f
+        halt
+f:
+        jr   $ra
+`)
+	fAddr := isa.TextBase + 2*isa.InstBytes
+	if uint32(p.Text[0].Imm) != fAddr {
+		t.Errorf("jal target = %#x, want %#x", uint32(p.Text[0].Imm), fAddr)
+	}
+	if got := p.Symbols["f"]; got != fAddr {
+		t.Errorf("symbol f = %#x, want %#x", got, fAddr)
+	}
+}
+
+func TestDataSegment(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+main:   halt
+        .data
+a:      .word 1, 2, 3
+b:      .byte 7
+        .align 4
+c:      .word a
+d:      .space 8
+e:      .half 258
+        .align 8
+pi:     .double 3.5
+`)
+	if got := p.Symbols["a"]; got != isa.DataBase {
+		t.Errorf("a = %#x", got)
+	}
+	if got := p.Symbols["b"]; got != isa.DataBase+12 {
+		t.Errorf("b = %#x", got)
+	}
+	if got := p.Symbols["c"]; got != isa.DataBase+16 {
+		t.Errorf("c = %#x (alignment)", got)
+	}
+	if got := p.Symbols["d"]; got != isa.DataBase+20 {
+		t.Errorf("d = %#x", got)
+	}
+	if got := p.Symbols["e"]; got != isa.DataBase+28 {
+		t.Errorf("e = %#x", got)
+	}
+	// .word a stores the address of a.
+	off := p.Symbols["c"] - isa.DataBase
+	v := uint32(p.Data[off]) | uint32(p.Data[off+1])<<8 | uint32(p.Data[off+2])<<16 | uint32(p.Data[off+3])<<24
+	if v != isa.DataBase {
+		t.Errorf(".word a = %#x, want %#x", v, isa.DataBase)
+	}
+	// .double 3.5 = 0x400C000000000000.
+	off = p.Symbols["pi"] - isa.DataBase
+	if p.Data[off+7] != 0x40 || p.Data[off+6] != 0x0C {
+		t.Errorf(".double bytes = % x", p.Data[off:off+8])
+	}
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+main:
+        move $t0, $t1
+        move $f0, $f1
+        b    end
+        beqz $t0, end
+        bnez $t0, end
+        subi $sp, $sp, 8
+        ret
+end:    halt
+`)
+	if p.Text[0].Op != isa.ADDI || p.Text[0].Rs != isa.GPR(9) {
+		t.Errorf("move gpr = %v", p.Text[0])
+	}
+	if p.Text[1].Op != isa.FMOV {
+		t.Errorf("move fpr = %v", p.Text[1])
+	}
+	if p.Text[2].Op != isa.BEQ || p.Text[2].Rs != isa.RegZero || p.Text[2].Rt != isa.RegZero {
+		t.Errorf("b = %v", p.Text[2])
+	}
+	if p.Text[3].Op != isa.BEQ || p.Text[3].Rt != isa.RegZero {
+		t.Errorf("beqz = %v", p.Text[3])
+	}
+	if p.Text[4].Op != isa.BNE {
+		t.Errorf("bnez = %v", p.Text[4])
+	}
+	if p.Text[5].Op != isa.ADDI || p.Text[5].Imm != -8 {
+		t.Errorf("subi = %v", p.Text[5])
+	}
+	if p.Text[6].Op != isa.JR || p.Text[6].Rs != isa.RegRA {
+		t.Errorf("ret = %v", p.Text[6])
+	}
+}
+
+func TestLaResolvesLabels(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+main:
+        la $t0, buf
+        halt
+        .data
+        .space 16
+buf:    .word 0
+`)
+	if uint32(p.Text[0].Imm) != isa.DataBase+16 {
+		t.Errorf("la imm = %#x, want %#x", uint32(p.Text[0].Imm), isa.DataBase+16)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown mnemonic":  "\t.text\nmain:\n\tfrob $t0, $t1\n",
+		"unknown register":  "\t.text\nmain:\n\tadd $t0, $q1, $t2\n",
+		"operand count":     "\t.text\nmain:\n\tadd $t0, $t1\n",
+		"undefined branch":  "\t.text\nmain:\n\tbeq $t0, $t1, nowhere\n",
+		"duplicate label":   "\t.text\nmain:\nmain:\n\thalt\n",
+		"bad directive":     "\t.text\n\t.frobnicate 3\n",
+		"data outside":      "\t.text\n\t.word 3\n",
+		"inst outside text": "\t.data\n\tadd $t0, $t1, $t2\n",
+		"bad mem operand":   "\t.text\nmain:\n\tlw $t0, $t1\n",
+		"undefined symbol":  "\t.text\nmain:\n\tla $t0, missing\n",
+	}
+	for name, src := range cases {
+		if _, err := Assemble("bad.s", src); err == nil {
+			t.Errorf("%s: no error for %q", name, src)
+		}
+	}
+}
+
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	_, err := Assemble("lines.s", "\t.text\nmain:\n\thalt\n\tfrob $t0\n")
+	if err == nil || !strings.Contains(err.Error(), "lines.s:4") {
+		t.Errorf("error %v does not name line 4", err)
+	}
+}
+
+func TestComments(t *testing.T) {
+	p := mustAssemble(t, `
+        .text   # section
+main:   halt    # stop here
+        # full-line comment
+`)
+	if len(p.Text) != 1 {
+		t.Errorf("text length = %d, want 1", len(p.Text))
+	}
+}
+
+func TestInstAt(t *testing.T) {
+	p := mustAssemble(t, "\t.text\nmain:\n\tnop\n\thalt\n")
+	if in, ok := p.InstAt(isa.TextBase); !ok || in.Op != isa.NOP {
+		t.Errorf("InstAt(base) = %v,%v", in, ok)
+	}
+	if in, ok := p.InstAt(isa.TextBase + 4); !ok || in.Op != isa.HALT {
+		t.Errorf("InstAt(base+4) = %v,%v", in, ok)
+	}
+	if _, ok := p.InstAt(isa.TextBase + 8); ok {
+		t.Error("InstAt past end succeeded")
+	}
+	if _, ok := p.InstAt(isa.TextBase + 2); ok {
+		t.Error("InstAt misaligned succeeded")
+	}
+	if _, ok := p.InstAt(isa.TextBase - 4); ok {
+		t.Error("InstAt below base succeeded")
+	}
+}
+
+func TestGlobalEntry(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+        .global start
+helper: jr $ra
+start:  halt
+`)
+	if p.Entry != isa.TextBase+isa.InstBytes {
+		t.Errorf("entry = %#x, want start", p.Entry)
+	}
+}
+
+func TestDisassembleContainsLabels(t *testing.T) {
+	p := mustAssemble(t, "\t.text\nmain:\n\tnop\nf:\n\thalt\n")
+	dis := p.Disassemble()
+	if !strings.Contains(dis, "main:") || !strings.Contains(dis, "f:") || !strings.Contains(dis, "halt") {
+		t.Errorf("disassembly missing pieces:\n%s", dis)
+	}
+}
+
+func TestMultipleLabelsOneLine(t *testing.T) {
+	p := mustAssemble(t, "\t.text\na: b: c:\n\thalt\n")
+	if p.Symbols["a"] != p.Symbols["b"] || p.Symbols["b"] != p.Symbols["c"] {
+		t.Error("stacked labels differ")
+	}
+}
+
+func TestHexAndNegativeImmediates(t *testing.T) {
+	p := mustAssemble(t, "\t.text\nmain:\n\tli $t0, 0xFF\n\tli $t1, -2147483648\n\thalt\n")
+	if p.Text[0].Imm != 255 {
+		t.Errorf("hex imm = %d", p.Text[0].Imm)
+	}
+	if p.Text[1].Imm != -2147483648 {
+		t.Errorf("min imm = %d", p.Text[1].Imm)
+	}
+}
+
+func TestSymbolLookup(t *testing.T) {
+	p := mustAssemble(t, "\t.text\nmain:\n\thalt\n")
+	if _, err := p.Symbol("main"); err != nil {
+		t.Errorf("Symbol(main): %v", err)
+	}
+	if _, err := p.Symbol("nope"); err == nil {
+		t.Error("Symbol(nope) succeeded")
+	}
+}

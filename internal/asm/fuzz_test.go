@@ -1,0 +1,35 @@
+package asm
+
+import "testing"
+
+// FuzzAssemble checks that the assembler never panics and either returns
+// a program or an error for arbitrary source text.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"",
+		"\t.text\nmain:\n\thalt\n",
+		"\t.text\nmain:\n\tlw $t0, 4($sp) !local\n\thalt\n",
+		"\t.data\nx:\t.word 1, 2, 3\n",
+		"\t.text\nl: l:\n",
+		"\t.text\nmain:\n\tbeq $t0, $t1, nowhere\n",
+		"\t.text\nmain:\n\tadd $t0 $t1\n",
+		"\t.data\n\t.space -1\n",
+		"\t.text\nmain:\n\tli $t0, 99999999999999999999\n",
+		"#comment only\n",
+		"\t.data\n\t.align 3\n",
+		"\t.text\nmain:\n\tsw $t0, x($gp)\n\t.data\nx: .word 0\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble("fuzz.s", src)
+		if err == nil && prog == nil {
+			t.Fatal("nil program without error")
+		}
+		if prog != nil {
+			// A successful assembly must disassemble without panicking.
+			_ = prog.Disassemble()
+		}
+	})
+}

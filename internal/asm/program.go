@@ -1,0 +1,97 @@
+// Package asm implements a two-pass assembler for the simulator's ISA and
+// the loadable Program image it produces.
+//
+// Source syntax (MIPS-flavoured):
+//
+//	        .text
+//	        .global main
+//	main:   addi  $sp, $sp, -16
+//	        sw    $ra, 12($sp) !local
+//	        li    $t0, 42
+//	        la    $t1, table
+//	        lw    $t2, 0($t1) !nonlocal
+//	        jal   helper
+//	        lw    $ra, 12($sp) !local
+//	        addi  $sp, $sp, 16
+//	        jr    $ra
+//	        .data
+//	table:  .word 1, 2, 3, end
+//	buf:    .space 64
+//	pi:     .double 3.14159
+//
+// `#` starts a comment. A trailing `!local` / `!nonlocal` on a memory
+// instruction sets the compiler access-region hint (paper §2.2.3).
+package asm
+
+import (
+	"fmt"
+	"repro/internal/isa"
+)
+
+// Program is a loadable program image: an assembled text segment, an
+// initialized data segment and the symbol table.
+type Program struct {
+	// Name identifies the program (for reports).
+	Name string
+	// Entry is the address execution starts at.
+	Entry uint32
+	// TextBase is the address of Text[0]; instruction i lives at
+	// TextBase + i*isa.InstBytes.
+	TextBase uint32
+	// Text is the decoded text segment.
+	Text []isa.Inst
+	// DataBase is the load address of Data.
+	DataBase uint32
+	// Data is the initialized data segment image.
+	Data []byte
+	// BSSBytes is the size of the zero-initialized region that follows
+	// Data in memory.
+	BSSBytes uint32
+	// Symbols maps every label to its resolved address.
+	Symbols map[string]uint32
+}
+
+// InstAt returns the instruction at byte address pc.
+func (p *Program) InstAt(pc uint32) (isa.Inst, bool) {
+	if pc < p.TextBase || (pc-p.TextBase)%isa.InstBytes != 0 {
+		return isa.Inst{}, false
+	}
+	idx := (pc - p.TextBase) / isa.InstBytes
+	if int(idx) >= len(p.Text) {
+		return isa.Inst{}, false
+	}
+	return p.Text[idx], true
+}
+
+// TextEnd returns the first address past the text segment.
+func (p *Program) TextEnd() uint32 {
+	return p.TextBase + uint32(len(p.Text))*isa.InstBytes
+}
+
+// Symbol returns the address of a label.
+func (p *Program) Symbol(name string) (uint32, error) {
+	addr, ok := p.Symbols[name]
+	if !ok {
+		return 0, fmt.Errorf("asm: undefined symbol %q", name)
+	}
+	return addr, nil
+}
+
+// Disassemble renders the text segment with addresses and labels.
+func (p *Program) Disassemble() string {
+	byAddr := make(map[uint32]string, len(p.Symbols))
+	for name, addr := range p.Symbols {
+		if addr >= p.TextBase && addr < p.TextEnd() {
+			byAddr[addr] = name
+		}
+	}
+	out := make([]byte, 0, 32*len(p.Text))
+	for i, in := range p.Text {
+		addr := p.TextBase + uint32(i)*isa.InstBytes
+		if name, ok := byAddr[addr]; ok {
+			out = append(out, fmt.Sprintf("%s:\n", name)...)
+		}
+		out = append(out, fmt.Sprintf("  %08x: %s\n", addr, in)...)
+	}
+	return string(out)
+}

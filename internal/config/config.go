@@ -1,0 +1,266 @@
+// Package config defines the simulated machine configuration. The defaults
+// reproduce Table 1 of the paper: a 16-issue out-of-order processor with a
+// 128-entry ROB, a 64-entry LSQ (plus a 64-entry LVAQ when data decoupling
+// is enabled), MIPS R10000 instruction latencies, a 32 KB 2-way L1 data
+// cache with 2-cycle hits, a 512 KB 4-way L2 with 12-cycle access, 50-cycle
+// main memory, and a 2 KB direct-mapped LVC with 1-cycle hits.
+package config
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// SteeringPolicy selects how memory instructions are classified into the
+// LSQ or LVAQ streams at dispatch (paper §2.1, §2.2.3).
+type SteeringPolicy uint8
+
+const (
+	// SteerHint trusts the compiler hint bits and falls back to a 1-bit
+	// per-PC region predictor for unhinted (ambiguous) accesses.
+	SteerHint SteeringPolicy = iota
+	// SteerSP classifies an access as local iff its base register is $sp
+	// or $fp (the hardware-only heuristic of §2.2.3).
+	SteerSP
+	// SteerOracle uses the true effective-address region; it never
+	// misclassifies. Used for limit studies.
+	SteerOracle
+	// SteerDual trusts hints, but inserts unhinted (ambiguous) accesses
+	// into BOTH queues; the wrongly-placed copy is killed when the
+	// address resolves (paper §2.1 footnote: "it can copy a reference
+	// into both the memory access queues to eliminate any communication
+	// between them"). No misprediction recovery is ever needed, at the
+	// cost of queue occupancy and conservative ordering in both streams.
+	SteerDual
+)
+
+func (s SteeringPolicy) String() string {
+	switch s {
+	case SteerHint:
+		return "hint"
+	case SteerSP:
+		return "sp"
+	case SteerOracle:
+		return "oracle"
+	case SteerDual:
+		return "dual"
+	default:
+		return fmt.Sprintf("steer%d", uint8(s))
+	}
+}
+
+// PortModel selects how a cache provides its ports (paper §1 discusses
+// the alternatives and their drawbacks).
+type PortModel uint8
+
+const (
+	// PortsIdeal is the paper's evaluation assumption: an N-port cache
+	// services any N requests per cycle.
+	PortsIdeal PortModel = iota
+	// PortsBanked models an N-way line-interleaved cache of single-ported
+	// banks: two same-cycle accesses to the same bank conflict.
+	PortsBanked
+	// PortsReplicated models N replicated copies: loads may use any copy,
+	// but a store must broadcast to all copies and consumes every port
+	// that cycle.
+	PortsReplicated
+)
+
+func (p PortModel) String() string {
+	switch p {
+	case PortsBanked:
+		return "banked"
+	case PortsReplicated:
+		return "replicated"
+	default:
+		return "ideal"
+	}
+}
+
+// CacheParams configures one cache of the hierarchy.
+type CacheParams struct {
+	SizeBytes  int
+	LineBytes  int
+	Assoc      int
+	HitLatency uint64
+}
+
+// Config is the full machine configuration.
+type Config struct {
+	// Pipeline widths. Decode and commit widths equal the issue width
+	// (Table 1).
+	IssueWidth int
+	ROBSize    int
+	LSQSize    int
+	LVAQSize   int
+
+	// Functional units (Table 1: 16 integer + 16 FP ALUs, 4 integer + 4 FP
+	// MULT/DIV units).
+	IntALUs   int
+	FPALUs    int
+	IntMulDiv int
+	FPMulDiv  int
+
+	// DCachePorts is N and LVCPorts is M in the paper's "(N+M)" notation.
+	// LVCPorts == 0 disables data decoupling entirely (no LVAQ/LVC).
+	DCachePorts int
+	LVCPorts    int
+	// DCachePortModel and LVCPortModel select how the ports are built
+	// (ideal multi-porting, interleaved banks, or replication — §1).
+	DCachePortModel PortModel
+	LVCPortModel    PortModel
+
+	L1         CacheParams
+	L2         CacheParams
+	LVC        CacheParams
+	MemLatency uint64
+
+	// Steering selects the dispatch-time stream classifier.
+	Steering SteeringPolicy
+	// TLBEntries enables the §2.1 annotation-TLB verification model when
+	// positive: steering verification (and thus the cache access) waits
+	// for the annotation on a TLB miss. 0 models perfect (free)
+	// verification, the paper's default.
+	TLBEntries int
+	// TLBMissLatency is the annotation fill latency in cycles.
+	TLBMissLatency uint64
+	// RecoveryPenalty is the dispatch stall charged when a memory access
+	// is found in the wrong queue and must be re-steered (handled "like a
+	// branch misprediction", §2.1).
+	RecoveryPenalty uint64
+
+	// FastForward enables offset-based store→load forwarding in the LVAQ
+	// before effective addresses are known (§2.2.2).
+	FastForward bool
+	// CombineWidth is the access-combining degree for the LVC: an LVC
+	// port grant covers up to CombineWidth consecutive same-line LVAQ
+	// accesses. 1 disables combining.
+	CombineWidth int
+
+	// MaxInsts bounds the number of committed instructions (0 = run to
+	// HALT).
+	MaxInsts uint64
+}
+
+// Default returns the paper's base machine model (Table 1) in the (2+0)
+// configuration; use WithPorts to select other (N+M) points.
+func Default() Config {
+	return Config{
+		IssueWidth: 16,
+		ROBSize:    128,
+		LSQSize:    64,
+		LVAQSize:   64,
+		IntALUs:    16,
+		FPALUs:     16,
+		IntMulDiv:  4,
+		FPMulDiv:   4,
+
+		DCachePorts: 2,
+		LVCPorts:    0,
+
+		L1:         CacheParams{SizeBytes: 32 * 1024, LineBytes: 32, Assoc: 2, HitLatency: 2},
+		L2:         CacheParams{SizeBytes: 512 * 1024, LineBytes: 32, Assoc: 4, HitLatency: 12},
+		LVC:        CacheParams{SizeBytes: 2 * 1024, LineBytes: 32, Assoc: 1, HitLatency: 1},
+		MemLatency: 50,
+
+		Steering:        SteerHint,
+		RecoveryPenalty: 8,
+		FastForward:     false,
+		CombineWidth:    1,
+	}
+}
+
+// WithPorts returns a copy of the configuration with an N-port data cache
+// and an M-port LVC — the paper's "(N+M)" notation.
+func (c Config) WithPorts(n, m int) Config {
+	c.DCachePorts = n
+	c.LVCPorts = m
+	return c
+}
+
+// WithOptimizations returns a copy with fast data forwarding and the given
+// access-combining degree enabled.
+func (c Config) WithOptimizations(combine int) Config {
+	c.FastForward = true
+	c.CombineWidth = combine
+	return c
+}
+
+// Decoupled reports whether the configuration uses the LVAQ/LVC.
+func (c Config) Decoupled() bool { return c.LVCPorts > 0 }
+
+// Name returns the paper's "(N+M)" name for the configuration.
+func (c Config) Name() string {
+	return fmt.Sprintf("(%d+%d)", c.DCachePorts, c.LVCPorts)
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	switch {
+	case c.IssueWidth <= 0:
+		return fmt.Errorf("config: issue width %d", c.IssueWidth)
+	case c.ROBSize <= 0:
+		return fmt.Errorf("config: ROB size %d", c.ROBSize)
+	case c.LSQSize <= 0:
+		return fmt.Errorf("config: LSQ size %d", c.LSQSize)
+	case c.Decoupled() && c.LVAQSize <= 0:
+		return fmt.Errorf("config: LVAQ size %d with decoupling enabled", c.LVAQSize)
+	case c.IntALUs <= 0 || c.FPALUs <= 0 || c.IntMulDiv <= 0 || c.FPMulDiv <= 0:
+		return fmt.Errorf("config: functional unit counts must be positive")
+	case c.DCachePorts <= 0:
+		return fmt.Errorf("config: %d data cache ports", c.DCachePorts)
+	case c.LVCPorts < 0:
+		return fmt.Errorf("config: %d LVC ports", c.LVCPorts)
+	case c.CombineWidth < 1:
+		return fmt.Errorf("config: combine width %d", c.CombineWidth)
+	case c.L1.HitLatency == 0 || c.L2.HitLatency == 0:
+		return fmt.Errorf("config: zero cache hit latency")
+	case c.Decoupled() && c.LVC.HitLatency == 0:
+		return fmt.Errorf("config: zero LVC hit latency")
+	}
+	return nil
+}
+
+// ParseNM parses the paper's "(N+M)" or "N+M" configuration notation.
+func ParseNM(s string) (n, m int, err error) {
+	t := strings.TrimSuffix(strings.TrimPrefix(strings.TrimSpace(s), "("), ")")
+	a, b, ok := strings.Cut(t, "+")
+	if !ok {
+		return 0, 0, fmt.Errorf("config: %q is not of the form N+M", s)
+	}
+	if n, err = strconv.Atoi(strings.TrimSpace(a)); err != nil {
+		return 0, 0, fmt.Errorf("config: bad N in %q", s)
+	}
+	if m, err = strconv.Atoi(strings.TrimSpace(b)); err != nil {
+		return 0, 0, fmt.Errorf("config: bad M in %q", s)
+	}
+	if n < 1 || m < 0 {
+		return 0, 0, fmt.Errorf("config: out-of-range ports in %q", s)
+	}
+	return n, m, nil
+}
+
+// Latency returns the execution latency in cycles of a non-memory
+// instruction class — the MIPS R10000 values the paper uses (Table 1).
+// Loads and stores are timed by the memory model, not this table.
+func Latency(class isa.Class) uint64 {
+	switch class {
+	case isa.ClassIntALU, isa.ClassBranch, isa.ClassJump, isa.ClassSys, isa.ClassNop:
+		return 1
+	case isa.ClassIntMul:
+		return 6
+	case isa.ClassIntDiv:
+		return 35
+	case isa.ClassFPALU:
+		return 2
+	case isa.ClassFPMul:
+		return 2
+	case isa.ClassFPDiv:
+		return 19
+	default:
+		return 1
+	}
+}

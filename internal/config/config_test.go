@@ -1,0 +1,119 @@
+package config
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestDefaultMatchesPaperTable1(t *testing.T) {
+	c := Default()
+	if c.IssueWidth != 16 {
+		t.Errorf("issue width %d, want 16", c.IssueWidth)
+	}
+	if c.ROBSize != 128 || c.LSQSize != 64 || c.LVAQSize != 64 {
+		t.Errorf("ROB/LSQ/LVAQ = %d/%d/%d, want 128/64/64", c.ROBSize, c.LSQSize, c.LVAQSize)
+	}
+	if c.IntALUs != 16 || c.FPALUs != 16 || c.IntMulDiv != 4 || c.FPMulDiv != 4 {
+		t.Errorf("FUs = %d/%d/%d/%d", c.IntALUs, c.FPALUs, c.IntMulDiv, c.FPMulDiv)
+	}
+	if c.L1.SizeBytes != 32*1024 || c.L1.Assoc != 2 || c.L1.HitLatency != 2 {
+		t.Errorf("L1 = %+v", c.L1)
+	}
+	if c.L2.SizeBytes != 512*1024 || c.L2.Assoc != 4 || c.L2.HitLatency != 12 {
+		t.Errorf("L2 = %+v", c.L2)
+	}
+	if c.LVC.SizeBytes != 2*1024 || c.LVC.Assoc != 1 || c.LVC.HitLatency != 1 {
+		t.Errorf("LVC = %+v", c.LVC)
+	}
+	if c.MemLatency != 50 {
+		t.Errorf("memory latency %d, want 50", c.MemLatency)
+	}
+	if c.L1.LineBytes != 32 || c.LVC.LineBytes != 32 {
+		t.Errorf("line sizes %d/%d, want 32", c.L1.LineBytes, c.LVC.LineBytes)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestWithPorts(t *testing.T) {
+	c := Default().WithPorts(3, 2)
+	if c.DCachePorts != 3 || c.LVCPorts != 2 {
+		t.Errorf("ports = %d,%d", c.DCachePorts, c.LVCPorts)
+	}
+	if c.Name() != "(3+2)" {
+		t.Errorf("Name = %q", c.Name())
+	}
+	if !c.Decoupled() {
+		t.Error("3+2 not decoupled")
+	}
+	if Default().WithPorts(4, 0).Decoupled() {
+		t.Error("4+0 claims decoupled")
+	}
+}
+
+func TestWithOptimizations(t *testing.T) {
+	c := Default().WithOptimizations(4)
+	if !c.FastForward || c.CombineWidth != 4 {
+		t.Errorf("optimizations = %v/%d", c.FastForward, c.CombineWidth)
+	}
+}
+
+func TestParseNM(t *testing.T) {
+	cases := map[string][2]int{
+		"2+0": {2, 0}, "(3+2)": {3, 2}, " 4+16 ": {4, 16}, "(16+0)": {16, 0},
+	}
+	for in, want := range cases {
+		n, m, err := ParseNM(in)
+		if err != nil || n != want[0] || m != want[1] {
+			t.Errorf("ParseNM(%q) = %d,%d,%v", in, n, m, err)
+		}
+	}
+	for _, bad := range []string{"", "3", "3-2", "x+y", "0+2", "2+-1"} {
+		if _, _, err := ParseNM(bad); err == nil {
+			t.Errorf("ParseNM(%q) accepted", bad)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mut := []func(*Config){
+		func(c *Config) { c.IssueWidth = 0 },
+		func(c *Config) { c.ROBSize = -1 },
+		func(c *Config) { c.LSQSize = 0 },
+		func(c *Config) { c.DCachePorts = 0 },
+		func(c *Config) { c.LVCPorts = -1 },
+		func(c *Config) { c.CombineWidth = 0 },
+		func(c *Config) { c.IntALUs = 0 },
+		func(c *Config) { c.L1.HitLatency = 0 },
+		func(c *Config) { c.LVCPorts = 2; c.LVAQSize = 0 },
+		func(c *Config) { c.LVCPorts = 2; c.LVC.HitLatency = 0 },
+	}
+	for i, f := range mut {
+		c := Default()
+		f(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestLatenciesMatchR10000(t *testing.T) {
+	want := map[isa.Class]uint64{
+		isa.ClassIntALU: 1, isa.ClassIntMul: 6, isa.ClassIntDiv: 35,
+		isa.ClassFPALU: 2, isa.ClassFPMul: 2, isa.ClassFPDiv: 19,
+		isa.ClassBranch: 1, isa.ClassJump: 1, isa.ClassSys: 1, isa.ClassNop: 1,
+	}
+	for class, lat := range want {
+		if got := Latency(class); got != lat {
+			t.Errorf("Latency(%v) = %d, want %d", class, got, lat)
+		}
+	}
+}
+
+func TestSteeringPolicyString(t *testing.T) {
+	if SteerHint.String() != "hint" || SteerSP.String() != "sp" || SteerOracle.String() != "oracle" {
+		t.Error("policy names wrong")
+	}
+}

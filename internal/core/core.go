@@ -1,0 +1,377 @@
+// Package core implements the paper's primary contribution: a
+// cycle-accurate, execution-driven out-of-order superscalar processor model
+// with a data-decoupled memory system.
+//
+// The pipeline follows the Register Update Unit (RUU) organization of
+// SimpleScalar's sim-outorder, with the six stages of the paper's machine
+// model (fetch, dispatch, issue, execute, writeback, commit). The front end
+// is perfect (perfect I-cache, oracle branch prediction), so fetch follows
+// the architectural path supplied by the functional emulator and
+// instructions execute functionally at dispatch; the timing model replays
+// their register and memory dependences and latencies.
+//
+// Data decoupling (paper §2): at dispatch, memory instructions are steered
+// into one of two independent memory access queues — the conventional
+// load/store queue (LSQ) in front of the L1 data cache, or the local
+// variable access queue (LVAQ) in front of the small local variable cache
+// (LVC). Load/store ordering is enforced within each queue only. The two
+// LVAQ optimizations of §2.2.2 are implemented: fast data forwarding
+// (offset-based store→load bypass before address generation) and access
+// combining (one LVC port grant serves up to N consecutive same-line
+// accesses).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/asm"
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/tlb"
+)
+
+// queueID identifies one of the two memory access queues.
+type queueID uint8
+
+const (
+	qLSQ queueID = iota
+	qLVAQ
+)
+
+func (q queueID) String() string {
+	if q == qLVAQ {
+		return "LVAQ"
+	}
+	return "LSQ"
+}
+
+// uop is one in-flight instruction (an RUU entry).
+type uop struct {
+	seq   uint64
+	ef    emu.Effect
+	class isa.Class
+
+	// dep are the producers of the source operands (nil when the operand
+	// was ready at dispatch). For memory instructions dep[0] is the base
+	// address register producer; for stores dep[1] produces the stored
+	// value.
+	dep [2]*uop
+
+	dispatchedAt uint64
+	issued       bool // has consumed its issue slot (agen for memory ops)
+	completed    bool // result computed / store ready to commit
+	readyAt      uint64
+
+	// Memory state.
+	isMem, isLoad bool
+	queue         queueID
+	addrKnown     bool
+	addrAt        uint64 // cycle the effective address becomes available
+	valueKnown    bool   // stores: data operand ready
+	valueAt       uint64
+	accessDone    bool // load has obtained its data (cache or forward)
+	fwdFrom       *uop
+
+	// Fast-forwarding key (§2.2.2): base register identity, the
+	// stack-generation tag current at dispatch, and the offset field.
+	baseReg isa.Reg
+	spGen   uint64
+	// spGenAfter is the core's stack generation after this instruction
+	// dispatched (used to restore it on a squash).
+	spGenAfter uint64
+
+	misrouted bool // address resolved to the wrong queue; recovery done
+	// dual marks an ambiguous access inserted into both queues
+	// (SteerDual); cleared when the address resolves and the wrong copy
+	// is killed.
+	dual bool
+
+	issuedAt      uint64
+	combined      bool
+	fastForwarded bool
+}
+
+// TraceEvent is the per-instruction pipeline timeline delivered to a
+// Tracer. All cycle stamps are absolute; zero means "did not happen".
+type TraceEvent struct {
+	Seq   uint64
+	PC    uint32
+	Inst  isa.Inst
+	Queue string // "LSQ", "LVAQ" or "" for non-memory instructions
+	Addr  uint32 // effective address for memory instructions
+
+	DispatchedAt uint64
+	IssuedAt     uint64
+	AddrAt       uint64 // address generation done (memory ops)
+	ReadyAt      uint64 // result available
+	CommittedAt  uint64
+
+	Squashed      bool // re-dispatched later by misroute recovery
+	Misrouted     bool
+	Forwarded     bool // value came from an older store in the queue
+	FastForwarded bool
+	Combined      bool // access rode a shared LVC port grant
+}
+
+// Tracer observes retired (and squashed) instructions. Implementations
+// must be fast; Trace is called once per instruction.
+type Tracer interface {
+	Trace(ev TraceEvent)
+}
+
+// SetTracer installs a pipeline tracer (nil disables tracing).
+func (c *Core) SetTracer(t Tracer) { c.tracer = t }
+
+func (c *Core) emitTrace(u *uop, committedAt uint64, squashed bool) {
+	if c.tracer == nil {
+		return
+	}
+	ev := TraceEvent{
+		Seq:           u.seq,
+		PC:            u.ef.PC,
+		Inst:          u.ef.Inst,
+		Addr:          u.ef.Addr,
+		DispatchedAt:  u.dispatchedAt,
+		IssuedAt:      u.issuedAt,
+		ReadyAt:       u.readyAt,
+		CommittedAt:   committedAt,
+		Squashed:      squashed,
+		Misrouted:     u.misrouted,
+		Forwarded:     u.fwdFrom != nil && !u.accessedFast(),
+		FastForwarded: u.accessedFast(),
+		Combined:      u.combined,
+	}
+	if u.isMem {
+		ev.Queue = u.queue.String()
+		ev.AddrAt = u.addrAt
+	}
+	c.tracer.Trace(ev)
+}
+
+// accessedFast reports whether the uop's value came via the offset-based
+// fast path (before address generation).
+func (u *uop) accessedFast() bool {
+	return u.fwdFrom != nil && u.fastForwarded
+}
+
+func (u *uop) depsReady(now uint64) bool {
+	for _, d := range u.dep {
+		if d != nil && (!d.completed || d.readyAt > now) {
+			return false
+		}
+	}
+	return true
+}
+
+func (u *uop) overlaps(v *uop) bool {
+	a0, a1 := u.ef.Addr, u.ef.Addr+uint32(u.ef.Bytes)
+	b0, b1 := v.ef.Addr, v.ef.Addr+uint32(v.ef.Bytes)
+	return a0 < b1 && b0 < a1
+}
+
+func (u *uop) sameAccess(v *uop) bool {
+	return u.ef.Addr == v.ef.Addr && u.ef.Bytes == v.ef.Bytes
+}
+
+// Core is one simulated processor running one program.
+type Core struct {
+	cfg config.Config
+	emu *emu.Machine
+
+	l1  *cache.Cache
+	l2  *cache.Cache
+	lvc *cache.Cache
+	mem *cache.MainMemory
+
+	now uint64
+	seq uint64
+
+	rob  []*uop // in program order; rob[0] is the commit head
+	lsq  []*uop // memory ops in program order
+	lvaq []*uop
+
+	// renameTable maps each architectural register to its most recent
+	// in-flight producer.
+	renameTable [isa.NumRegs]*uop
+
+	// spGen is bumped whenever an instruction writing $sp or $fp
+	// dispatches; it delimits stack frames for fast data forwarding.
+	spGen uint64
+
+	// regionPredictor is the 1-bit per-PC predictor used for unhinted
+	// accesses under SteerHint (paper §2.2.3).
+	regionPredictor map[uint32]bool // true = local
+
+	// annotTLB, when non-nil, is the §2.1 annotation TLB: steering
+	// verification waits for its fill on a miss.
+	annotTLB *tlb.TLB
+
+	tracer Tracer
+
+	dispatchStallUntil uint64
+	fetchDone          bool        // emulator halted or instruction budget reached
+	pending            *emu.Effect // dispatch held back by a full queue
+	// replay holds the effects of squashed (wrong-queue recovery)
+	// instructions awaiting re-dispatch; the emulator is never re-run.
+	replay []emu.Effect
+
+	// Per-cycle port accounting.
+	l1Ports  ports
+	lvcPorts ports
+	// combineGrant tracks the line address and remaining width of the
+	// current combining window on the LVC (reset each cycle).
+	combineLine   uint32
+	combineLeft   int
+	combineIsLoad bool
+	combineAnchor int
+
+	stats Stats
+}
+
+// New builds a core for the given program and configuration.
+func New(prog *asm.Program, cfg config.Config) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Core{
+		cfg:             cfg,
+		emu:             emu.New(prog),
+		mem:             &cache.MainMemory{Name: "mem", Latency: cfg.MemLatency},
+		regionPredictor: make(map[uint32]bool),
+	}
+	c.l2 = cache.New(cache.Config{
+		Name: "L2", SizeBytes: cfg.L2.SizeBytes, LineBytes: cfg.L2.LineBytes,
+		Assoc: cfg.L2.Assoc, HitLatency: cfg.L2.HitLatency, MSHRs: 64,
+	}, c.mem)
+	c.l1 = cache.New(cache.Config{
+		Name: "L1D", SizeBytes: cfg.L1.SizeBytes, LineBytes: cfg.L1.LineBytes,
+		Assoc: cfg.L1.Assoc, HitLatency: cfg.L1.HitLatency,
+	}, c.l2)
+	if cfg.Decoupled() {
+		c.lvc = cache.New(cache.Config{
+			Name: "LVC", SizeBytes: cfg.LVC.SizeBytes, LineBytes: cfg.LVC.LineBytes,
+			Assoc: cfg.LVC.Assoc, HitLatency: cfg.LVC.HitLatency,
+		}, c.l2)
+		c.lvcPorts = newPorts(cfg.LVCPortModel, cfg.LVCPorts, cfg.LVC.LineBytes)
+	}
+	c.l1Ports = newPorts(cfg.DCachePortModel, cfg.DCachePorts, cfg.L1.LineBytes)
+	if cfg.Decoupled() && cfg.TLBEntries > 0 {
+		c.annotTLB = tlb.New(cfg.TLBEntries, cfg.TLBMissLatency)
+	}
+	return c, nil
+}
+
+// ErrBudget is reported (wrapped) by Run when the cycle safety budget is
+// exhausted before the program halts — almost always a sign of a workload
+// that does not terminate.
+var ErrBudget = errors.New("core: cycle budget exhausted")
+
+// Run simulates until the program halts and the pipeline drains (or until
+// the committed-instruction budget in the configuration is reached), then
+// returns the collected statistics.
+func (c *Core) Run() (*Result, error) {
+	// Safety net: no workload should ever run below 1/100 IPC.
+	const cycleSlack = 1_000_000
+	for !c.done() {
+		c.cycle()
+		if c.now > 100*c.stats.Committed+cycleSlack {
+			return nil, fmt.Errorf("%w at cycle %d (%d committed)", ErrBudget, c.now, c.stats.Committed)
+		}
+	}
+	return c.result(), nil
+}
+
+func (c *Core) done() bool {
+	return c.fetchDone && len(c.rob) == 0
+}
+
+// queue returns the memory access queue for q.
+func (c *Core) queueSlice(q queueID) []*uop {
+	if q == qLVAQ {
+		return c.lvaq
+	}
+	return c.lsq
+}
+
+// cacheFor returns the cache a queue's accesses go to.
+func (c *Core) cacheFor(q queueID) *cache.Cache {
+	if q == qLVAQ {
+		return c.lvc
+	}
+	return c.l1
+}
+
+// portsFor returns the per-cycle port state for a queue's cache.
+func (c *Core) portsFor(q queueID) *ports {
+	if q == qLVAQ {
+		return &c.lvcPorts
+	}
+	return &c.l1Ports
+}
+
+// ports tracks one cache's port availability within the current cycle,
+// under one of the paper's §1 multi-porting schemes.
+type ports struct {
+	model     config.PortModel
+	limit     int
+	lineShift uint
+
+	used     int
+	bankBusy []bool
+}
+
+func newPorts(model config.PortModel, limit, lineBytes int) ports {
+	p := ports{model: model, limit: limit,
+		lineShift: uint(bits.TrailingZeros(uint(lineBytes)))}
+	if model == config.PortsBanked {
+		p.bankBusy = make([]bool, limit)
+	}
+	return p
+}
+
+func (p *ports) reset() {
+	p.used = 0
+	for i := range p.bankBusy {
+		p.bankBusy[i] = false
+	}
+}
+
+// grant tries to allocate a port for an access this cycle.
+func (p *ports) grant(addr uint32, isStore bool) bool {
+	switch p.model {
+	case config.PortsBanked:
+		// Line-interleaved single-ported banks: same-bank accesses
+		// conflict.
+		bank := int(addr>>p.lineShift) % p.limit
+		if p.bankBusy[bank] {
+			return false
+		}
+		p.bankBusy[bank] = true
+		return true
+	case config.PortsReplicated:
+		// Stores broadcast to every replica and need all ports; loads
+		// can use any single free replica.
+		if isStore {
+			if p.used != 0 {
+				return false
+			}
+			p.used = p.limit
+			return true
+		}
+		if p.used >= p.limit {
+			return false
+		}
+		p.used++
+		return true
+	default: // ideal
+		if p.used >= p.limit {
+			return false
+		}
+		p.used++
+		return true
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+)
+
+// dualProgram repeatedly performs unhinted stack accesses through a
+// copied pointer (the Figure 4 ambiguity) plus unhinted global accesses.
+const dualProgram = `
+        .text
+main:
+        move $s0, $sp
+        addi $sp, $sp, -8
+        la   $s2, g
+        li   $s1, 0
+        li   $s3, 60
+loop:
+        sw   $s1, -4($s0)
+        lw   $t0, -4($s0)
+        sw   $t0, 0($s2)
+        lw   $t1, 0($s2)
+        addi $s1, $s1, 1
+        bne  $s1, $s3, loop
+        addi $sp, $sp, 8
+        out  $t1
+        halt
+        .data
+g:      .word 0
+`
+
+func TestDualSteeringNeverMisroutes(t *testing.T) {
+	prog := compile(t, dualProgram)
+	cfg := config.Default().WithPorts(2, 2)
+	cfg.Steering = config.SteerDual
+	res := simulate(t, prog, cfg)
+	checkFunctional(t, prog, res)
+
+	if res.Misroutes != 0 || res.Squashed != 0 {
+		t.Errorf("dual steering recovered: %d misroutes, %d squashed",
+			res.Misroutes, res.Squashed)
+	}
+	if res.DualInserted == 0 {
+		t.Error("no dual insertions for ambiguous accesses")
+	}
+	// The pointer-based stack accesses guess non-local (non-$sp base)
+	// and resolve local: misguesses must be counted, recovery-free.
+	if res.DualMisguessed == 0 {
+		t.Error("no dual misguesses recorded")
+	}
+}
+
+func TestDualSteeringBeatsRecoveryOnAmbiguousCode(t *testing.T) {
+	prog := compile(t, dualProgram)
+
+	sp := config.Default().WithPorts(2, 2)
+	sp.Steering = config.SteerSP // misroutes the global accesses? no — sp
+	// heuristic sends pointer-based stack refs to the LSQ: misroute on
+	// every iteration is avoided only by... measure against dual.
+	spRes := simulate(t, prog, sp)
+
+	dual := config.Default().WithPorts(2, 2)
+	dual.Steering = config.SteerDual
+	dualRes := simulate(t, prog, dual)
+
+	// SteerSP permanently misroutes the pointer-based stack accesses
+	// (recovery every iteration); dual insertion avoids all of it.
+	if spRes.Misroutes == 0 {
+		t.Skip("sp heuristic unexpectedly routed everything correctly")
+	}
+	if dualRes.Cycles >= spRes.Cycles {
+		t.Errorf("dual (%d cycles) not faster than recovery-heavy sp (%d)",
+			dualRes.Cycles, spRes.Cycles)
+	}
+}
+
+func TestDualStoreBlocksBothQueuesConservatively(t *testing.T) {
+	// An unresolved dual store must delay younger loads in both queues
+	// until its address resolves — never let them bypass it.
+	src := `
+        .text
+main:
+        move $t9, $sp
+        addi $sp, $sp, -8
+        li   $t0, 42
+        sw   $t0, -4($t9)
+        lw   $t1, -4($t9)
+        out  $t1
+        addi $sp, $sp, 8
+        halt
+`
+	prog := compile(t, src)
+	cfg := config.Default().WithPorts(2, 2).WithOptimizations(2)
+	cfg.Steering = config.SteerDual
+	res := simulate(t, prog, cfg)
+	checkFunctional(t, prog, res)
+	if res.Output[0] != 42 {
+		t.Fatalf("load got %d, want 42", res.Output[0])
+	}
+}
+
+func TestDualRespectsQueueCapacity(t *testing.T) {
+	cfg := config.Default().WithPorts(2, 2)
+	cfg.Steering = config.SteerDual
+	cfg.LVAQSize = 4
+	cfg.LSQSize = 4
+	prog := compile(t, dualProgram)
+	res := simulate(t, prog, cfg)
+	checkFunctional(t, prog, res)
+	if res.QueueFullStalls == 0 {
+		t.Error("tiny queues never filled under dual insertion")
+	}
+}

@@ -1,0 +1,689 @@
+package core
+
+import (
+	"repro/internal/config"
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+// cycle advances the machine one clock. Stages run back to front so that an
+// instruction never flows through more than one stage per cycle: commit,
+// then the memory pipelines, then issue, then fetch/dispatch.
+func (c *Core) cycle() {
+	c.now++
+	c.l1Ports.reset()
+	c.lvcPorts.reset()
+	c.combineLeft = 0
+
+	c.commitStage()
+	c.memoryStage()
+	c.issueStage()
+	c.dispatchStage()
+
+	c.stats.Cycles = c.now
+	c.stats.ROBOccupancy += uint64(len(c.rob))
+}
+
+// ---------------------------------------------------------------- commit
+
+func (c *Core) commitStage() {
+	for n := 0; n < c.cfg.IssueWidth && len(c.rob) > 0; n++ {
+		u := c.rob[0]
+		if !u.completed || u.readyAt > c.now {
+			break
+		}
+		if u.isMem && !u.isLoad {
+			// Stores write the data cache at commit and need a port
+			// (paper §3.1); LVC store commits participate in access
+			// combining.
+			pos := c.queueIndex(u)
+			if !c.grantAccess(u, pos) {
+				c.stats.StorePortStalls++
+				break
+			}
+			if _, ok := c.cacheFor(u.queue).Access(c.now, u.ef.Addr, true); !ok {
+				// All MSHRs busy: retry next cycle. The port stays
+				// consumed, as it would in hardware.
+				c.stats.StoreMSHRStalls++
+				break
+			}
+		}
+		c.rob = c.rob[1:]
+		if u.isMem {
+			c.removeFromQueue(u)
+		}
+		c.emitTrace(u, c.now, false)
+		c.stats.Committed++
+		if c.cfg.MaxInsts > 0 && c.stats.Committed >= c.cfg.MaxInsts {
+			c.fetchDone = true
+			c.rob = c.rob[:0]
+			c.lsq = c.lsq[:0]
+			c.lvaq = c.lvaq[:0]
+			return
+		}
+	}
+}
+
+func (c *Core) queueIndex(u *uop) int {
+	q := c.queueSlice(u.queue)
+	for i, v := range q {
+		if v == u {
+			return i
+		}
+	}
+	return -1
+}
+
+func (c *Core) removeFromQueue(u *uop) {
+	q := c.queueSlice(u.queue)
+	i := c.queueIndex(u)
+	if i < 0 {
+		return
+	}
+	q = append(q[:i], q[i+1:]...)
+	if u.queue == qLVAQ {
+		c.lvaq = q
+	} else {
+		c.lsq = q
+	}
+}
+
+// ---------------------------------------------------------------- memory
+
+func (c *Core) memoryStage() {
+	c.processQueue(qLSQ)
+	if c.cfg.Decoupled() {
+		c.processQueue(qLVAQ)
+	}
+	c.stats.LSQOccupancy += uint64(len(c.lsq))
+	c.stats.LVAQOccupancy += uint64(len(c.lvaq))
+}
+
+func (c *Core) processQueue(q queueID) {
+	queue := c.queueSlice(q)
+	for i, u := range queue {
+		if !u.isLoad {
+			c.updateStore(u)
+			continue
+		}
+		if u.accessDone {
+			continue
+		}
+		c.processLoad(queue, i, u)
+	}
+}
+
+// updateStore tracks a store's operand readiness; a store is "completed"
+// (eligible to commit) once both its address and its data are known.
+func (c *Core) updateStore(u *uop) {
+	if u.completed {
+		return
+	}
+	if !u.valueKnown {
+		d := u.dep[1]
+		if d == nil {
+			u.valueKnown, u.valueAt = true, u.dispatchedAt
+		} else if d.completed && d.readyAt <= c.now {
+			u.valueKnown, u.valueAt = true, d.readyAt
+		}
+	}
+	if u.valueKnown && u.addrKnown && u.addrAt <= c.now {
+		u.completed = true
+		u.readyAt = max(u.addrAt, u.valueAt)
+	}
+}
+
+func (c *Core) processLoad(queue []*uop, i int, u *uop) {
+	// Fast data forwarding (§2.2.2): in the LVAQ, a store→load pair with
+	// the same base register, stack generation and offset can bypass
+	// before either effective address is computed.
+	if u.queue == qLVAQ && c.cfg.FastForward && c.tryFastForward(queue, i, u) {
+		return
+	}
+	if !u.addrKnown || u.addrAt > c.now {
+		return
+	}
+
+	// A load may proceed only when the addresses of all previous stores
+	// in its queue are known (paper §3.1, applied per queue §2.1).
+	var match *uop
+	for j := i - 1; j >= 0; j-- {
+		s := queue[j]
+		if s.isLoad {
+			continue
+		}
+		if !s.addrKnown || s.addrAt > c.now {
+			c.stats.LoadOrderStalls++
+			return
+		}
+		if u.overlaps(s) {
+			match = s
+			break
+		}
+	}
+	if match != nil {
+		if match.sameAccess(u) {
+			// Store-to-load forwarding inside the queue: 1 cycle, no
+			// cache access, no port.
+			if match.valueKnown && match.valueAt <= c.now {
+				u.readyAt = c.now + 1
+				u.completed, u.accessDone = true, true
+				u.fwdFrom = match
+				c.stats.FwdLoads++
+				if u.queue == qLVAQ {
+					c.stats.LVAQFwdLoads++
+				}
+			}
+			return
+		}
+		// Partially overlapping store: wait until it commits and drains
+		// from the queue, then access the cache.
+		c.stats.PartialOverlapStalls++
+		return
+	}
+
+	if !c.grantAccess(u, i) {
+		c.stats.LoadPortStalls++
+		return
+	}
+	ready, ok := c.cacheFor(u.queue).Access(c.now, u.ef.Addr, false)
+	if !ok {
+		c.stats.LoadMSHRStalls++
+		return
+	}
+	u.readyAt = ready
+	u.completed, u.accessDone = true, true
+}
+
+// tryFastForward implements the offset-based LVAQ bypass. The scan walks
+// older LVAQ entries; it stops (and the load falls back to the normal
+// path) at any frame-generation boundary or at any store whose offset is
+// unknown (non-$sp/$fp base), because such a store might alias the load.
+func (c *Core) tryFastForward(queue []*uop, i int, u *uop) bool {
+	if u.accessDone {
+		return true
+	}
+	if u.dual || (u.baseReg != isa.RegSP && u.baseReg != isa.RegFP) {
+		return false
+	}
+	for j := i - 1; j >= 0; j-- {
+		s := queue[j]
+		if s.isLoad {
+			continue
+		}
+		if s.dual {
+			// Unresolved ambiguous store: might alias anything.
+			return false
+		}
+		if s.spGen != u.spGen {
+			return false
+		}
+		if s.baseReg != isa.RegSP && s.baseReg != isa.RegFP {
+			return false
+		}
+		if s.baseReg == u.baseReg && s.ef.Inst.Imm == u.ef.Inst.Imm {
+			if s.ef.Bytes != u.ef.Bytes {
+				return false
+			}
+			if s.valueKnown && s.valueAt <= c.now {
+				u.readyAt = c.now + 1
+				u.completed, u.accessDone = true, true
+				u.fwdFrom = s
+				u.fastForwarded = true
+				c.stats.FastFwdLoads++
+				return true
+			}
+			return false // right store, data not yet ready
+		}
+	}
+	return false
+}
+
+// grantAccess arbitrates a cache port for one access this cycle. On the
+// LVC, a granted access opens a combining window: up to CombineWidth-1
+// further same-kind accesses to the same line from nearby LVAQ entries
+// ride along without consuming another port (§2.2.2).
+func (c *Core) grantAccess(u *uop, pos int) bool {
+	if u.queue == qLVAQ && c.combineLeft > 0 && c.combineIsLoad == u.isLoad &&
+		c.lvc.SameLine(c.combineLine, u.ef.Addr) &&
+		pos >= 0 && pos-c.combineAnchor < c.cfg.CombineWidth {
+		c.combineLeft--
+		u.combined = true
+		c.stats.CombinedAccesses++
+		return true
+	}
+	if !c.portsFor(u.queue).grant(u.ef.Addr, !u.isLoad) {
+		return false
+	}
+	if u.queue == qLVAQ && c.cfg.CombineWidth > 1 {
+		c.combineLine = u.ef.Addr
+		c.combineLeft = c.cfg.CombineWidth - 1
+		c.combineIsLoad = u.isLoad
+		c.combineAnchor = pos
+	}
+	return true
+}
+
+// ---------------------------------------------------------------- issue
+
+func (c *Core) issueStage() {
+	budget := c.cfg.IssueWidth
+	intALU, fpALU := c.cfg.IntALUs, c.cfg.FPALUs
+	intMD, fpMD := c.cfg.IntMulDiv, c.cfg.FPMulDiv
+
+	for _, u := range c.rob {
+		if budget == 0 {
+			break
+		}
+		if u.issued || u.completed || u.dispatchedAt >= c.now {
+			continue
+		}
+		if u.isMem {
+			// Address generation: needs the base register operand.
+			if d := u.dep[0]; d != nil && (!d.completed || d.readyAt > c.now) {
+				continue
+			}
+			u.issued = true
+			u.issuedAt = c.now
+			budget--
+			u.addrKnown = true
+			u.addrAt = c.now + 1
+			if c.annotTLB != nil {
+				// Verification must wait for the annotation (§2.1).
+				if _, ready := c.annotTLB.Lookup(c.now, u.ef.Addr); ready > c.now {
+					u.addrAt = ready + 1
+					c.stats.TLBMissStalls++
+				}
+			}
+			if c.checkSteering(u); u.misrouted {
+				// The squash invalidated the window we are iterating.
+				break
+			}
+			continue
+		}
+		if !u.depsReady(c.now) {
+			continue
+		}
+		var fu *int
+		switch u.class {
+		case isa.ClassIntMul, isa.ClassIntDiv:
+			fu = &intMD
+		case isa.ClassFPALU:
+			fu = &fpALU
+		case isa.ClassFPMul, isa.ClassFPDiv:
+			fu = &fpMD
+		default: // integer ALU, branches, jumps, sys, nop
+			fu = &intALU
+		}
+		if *fu == 0 {
+			c.stats.FUStalls++
+			continue
+		}
+		*fu--
+		budget--
+		u.issued = true
+		u.issuedAt = c.now
+		u.completed = true
+		u.readyAt = c.now + config.Latency(u.class)
+		c.stats.Issued++
+	}
+}
+
+// ------------------------------------------------------------- dispatch
+
+func (c *Core) dispatchStage() {
+	if c.now < c.dispatchStallUntil {
+		c.stats.RecoveryStallCycles++
+		return
+	}
+	for n := 0; n < c.cfg.IssueWidth && !c.fetchDone; n++ {
+		if len(c.rob) >= c.cfg.ROBSize {
+			c.stats.ROBFullStalls++
+			return
+		}
+		ef, ok := c.nextEffect()
+		if !ok {
+			return
+		}
+		in := ef.Inst
+
+		var q queueID
+		var dual bool
+		if in.IsMem() {
+			q, dual = c.steer(ef)
+			full := func(qq queueID) bool {
+				limit := c.cfg.LSQSize
+				if qq == qLVAQ {
+					limit = c.cfg.LVAQSize
+				}
+				return len(c.queueSlice(qq)) >= limit
+			}
+			if full(q) || (dual && full(otherQueue(q))) {
+				// Hold the effect for the next cycle.
+				c.pending = &ef
+				c.stats.QueueFullStalls++
+				return
+			}
+		}
+
+		u := &uop{
+			seq:          c.seq,
+			ef:           ef,
+			class:        in.Op.Info().Class,
+			dispatchedAt: c.now,
+		}
+		c.seq++
+
+		// Rename the source operands.
+		if in.IsMem() {
+			u.isMem = true
+			u.isLoad = in.IsLoad()
+			u.queue = q
+			u.dual = dual
+			u.baseReg = in.BaseReg()
+			u.spGen = c.spGen
+			u.dep[0] = c.producer(in.BaseReg())
+			if !u.isLoad {
+				u.dep[1] = c.producer(in.Rt)
+			}
+		} else {
+			a, b, na := in.Srcs()
+			if na >= 1 {
+				u.dep[0] = c.producer(a)
+			}
+			if na >= 2 {
+				u.dep[1] = c.producer(b)
+			}
+		}
+
+		// Rename the destination and advance the stack generation when
+		// $sp or $fp is redefined.
+		if dest, hasDest := in.Dest(); hasDest {
+			c.renameTable[dest] = u
+			if dest == isa.RegSP || dest == isa.RegFP {
+				c.spGen++
+			}
+		}
+		u.spGenAfter = c.spGen
+
+		c.rob = append(c.rob, u)
+		if u.isMem {
+			if u.isLoad {
+				c.stats.Loads++
+			} else {
+				c.stats.Stores++
+			}
+			if isa.InStackRegion(ef.Addr) {
+				if u.isLoad {
+					c.stats.LocalLoads++
+				} else {
+					c.stats.LocalStores++
+				}
+			}
+			if q == qLVAQ {
+				c.lvaq = append(c.lvaq, u)
+				c.stats.LVAQDispatched++
+			} else {
+				c.lsq = append(c.lsq, u)
+				c.stats.LSQDispatched++
+			}
+			if dual {
+				// The shadow copy occupies the other queue until the
+				// address resolves.
+				if q == qLVAQ {
+					c.lsq = append(c.lsq, u)
+				} else {
+					c.lvaq = append(c.lvaq, u)
+				}
+				c.stats.DualInserted++
+			}
+		}
+
+		// Fetch is finished only when the emulator has halted AND no
+		// squashed effects remain to replay.
+		if c.emu.Halted && len(c.replay) == 0 && c.pending == nil {
+			c.fetchDone = true
+		}
+		if c.cfg.MaxInsts > 0 && c.seq >= c.cfg.MaxInsts {
+			c.fetchDone = true
+		}
+	}
+}
+
+// producer returns the in-flight producer of r, or nil when the
+// architectural value is already available. Reads of the hardwired zero
+// register are always ready.
+func (c *Core) producer(r isa.Reg) *uop {
+	if r == isa.RegZero {
+		return nil
+	}
+	p := c.renameTable[r]
+	if p == nil || (p.completed && p.readyAt <= c.now) {
+		return nil
+	}
+	return p
+}
+
+// nextEffect returns the next architectural effect to dispatch: a squashed
+// effect awaiting replay, the one buffered by a queue-full stall, or a
+// fresh emulator step.
+func (c *Core) nextEffect() (emu.Effect, bool) {
+	if len(c.replay) > 0 {
+		ef := c.replay[0]
+		c.replay = c.replay[1:]
+		return ef, true
+	}
+	if c.pending != nil {
+		ef := *c.pending
+		c.pending = nil
+		return ef, true
+	}
+	if c.emu.Halted {
+		c.fetchDone = true
+		return emu.Effect{}, false
+	}
+	ef, err := c.emu.Step()
+	if err != nil {
+		c.fetchDone = true
+		c.stats.FetchError = err
+		return emu.Effect{}, false
+	}
+	return ef, true
+}
+
+// ------------------------------------------------------------- steering
+
+// steer classifies a memory access into a queue at dispatch (paper §2.1).
+// Under SteerDual, an unhinted access additionally reports dual=true: it
+// is inserted into both queues and the wrong copy is killed at address
+// resolution (§2.1 footnote 3).
+func (c *Core) steer(ef emu.Effect) (q queueID, dual bool) {
+	if !c.cfg.Decoupled() {
+		return qLSQ, false
+	}
+	var local bool
+	switch c.cfg.Steering {
+	case config.SteerOracle:
+		local = isa.InStackRegion(ef.Addr)
+	case config.SteerSP:
+		local = ef.Inst.BaseReg() == isa.RegSP || ef.Inst.BaseReg() == isa.RegFP
+	case config.SteerDual:
+		switch ef.Inst.Hint {
+		case isa.HintLocal:
+			local = true
+		case isa.HintNonLocal:
+			local = false
+		default:
+			// Ambiguous: occupy both queues, primary by base register.
+			local = ef.Inst.BaseReg() == isa.RegSP || ef.Inst.BaseReg() == isa.RegFP
+			dual = true
+		}
+	default: // SteerHint
+		switch ef.Inst.Hint {
+		case isa.HintLocal:
+			local = true
+		case isa.HintNonLocal:
+			local = false
+		default:
+			if pred, ok := c.regionPredictor[ef.PC]; ok {
+				local = pred
+			} else {
+				local = ef.Inst.BaseReg() == isa.RegSP || ef.Inst.BaseReg() == isa.RegFP
+			}
+			c.stats.PredictedSteers++
+		}
+	}
+	if local {
+		return qLVAQ, dual
+	}
+	return qLSQ, dual
+}
+
+// checkSteering verifies the queue assignment once the effective address
+// is known. A wrong-queue access is removed, re-inserted into the correct
+// queue (in program order) and the front end stalls for the recovery
+// penalty, as for a branch misprediction (§2.1).
+func (c *Core) checkSteering(u *uop) {
+	if !c.cfg.Decoupled() {
+		return
+	}
+	local := isa.InStackRegion(u.ef.Addr)
+	if u.ef.Inst.Hint == isa.HintNone && c.cfg.Steering == config.SteerHint {
+		c.regionPredictor[u.ef.PC] = local
+	}
+	if u.dual {
+		// Kill the copy in the wrong queue; no recovery is needed
+		// because the right copy is already in place (§2.1 footnote 3).
+		right := qLSQ
+		if local {
+			right = qLVAQ
+		}
+		if u.queue != right {
+			c.stats.DualMisguessed++
+			if u.queue == qLVAQ {
+				c.stats.LVAQDispatched--
+				c.stats.LSQDispatched++
+			} else {
+				c.stats.LSQDispatched--
+				c.stats.LVAQDispatched++
+			}
+		}
+		wrong := otherQueue(right)
+		u.queue = wrong // removeFromQueue removes from u.queue's list
+		c.removeFromQueue(u)
+		u.queue = right
+		u.dual = false
+		return
+	}
+	if (u.queue == qLVAQ) == local {
+		return
+	}
+	c.stats.Misroutes++
+	u.misrouted = true
+	// Recovery "like a branch misprediction" (§2.1): squash everything
+	// younger, re-steer this access into the correct queue, and stall the
+	// front end for the refill penalty. The squashed instructions replay
+	// from their recorded effects.
+	c.squashYounger(u)
+	c.removeFromQueue(u)
+	if u.queue == qLVAQ {
+		u.queue = qLSQ
+		c.lsq = append(c.lsq, u)
+		c.stats.LVAQDispatched--
+		c.stats.LSQDispatched++
+	} else {
+		u.queue = qLVAQ
+		c.lvaq = append(c.lvaq, u)
+		c.stats.LSQDispatched--
+		c.stats.LVAQDispatched++
+	}
+	if until := c.now + c.cfg.RecoveryPenalty; until > c.dispatchStallUntil {
+		c.dispatchStallUntil = until
+	}
+}
+
+// squashYounger removes every instruction younger than u from the pipeline
+// and schedules its effect for re-dispatch.
+func (c *Core) squashYounger(u *uop) {
+	idx := -1
+	for i, v := range c.rob {
+		if v == u {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 || idx == len(c.rob)-1 {
+		// u is the youngest (or already gone): nothing to squash, but a
+		// queue-full pending effect is younger and stays pending.
+		return
+	}
+	squashed := c.rob[idx+1:]
+	effs := make([]emu.Effect, 0, len(squashed)+1+len(c.replay))
+	for _, v := range squashed {
+		if v.isMem {
+			if v.isLoad {
+				c.stats.Loads--
+			} else {
+				c.stats.Stores--
+			}
+			if isa.InStackRegion(v.ef.Addr) {
+				if v.isLoad {
+					c.stats.LocalLoads--
+				} else {
+					c.stats.LocalStores--
+				}
+			}
+			if v.queue == qLVAQ {
+				c.stats.LVAQDispatched--
+			} else {
+				c.stats.LSQDispatched--
+			}
+		}
+		effs = append(effs, v.ef)
+		c.emitTrace(v, 0, true)
+		c.stats.Squashed++
+	}
+	c.rob = c.rob[:idx+1]
+	c.lsq = filterOlder(c.lsq, u.seq)
+	c.lvaq = filterOlder(c.lvaq, u.seq)
+
+	// Rebuild the rename table from the surviving window.
+	for i := range c.renameTable {
+		c.renameTable[i] = nil
+	}
+	for _, v := range c.rob {
+		if dest, ok := v.ef.Inst.Dest(); ok {
+			c.renameTable[dest] = v
+		}
+	}
+	c.spGen = u.spGenAfter
+
+	// Re-dispatch order must be program order: the squashed window is
+	// older than a queue-full pending effect, which in turn is older
+	// than any effects still waiting in the replay buffer (nextEffect
+	// drains replay first, so pending always came from the front).
+	if c.pending != nil {
+		effs = append(effs, *c.pending)
+		c.pending = nil
+	}
+	c.replay = append(effs, c.replay...)
+	c.fetchDone = false // the replayed effects still need dispatching
+}
+
+func otherQueue(q queueID) queueID {
+	if q == qLVAQ {
+		return qLSQ
+	}
+	return qLVAQ
+}
+
+// filterOlder keeps only entries with seq <= maxSeq.
+func filterOlder(q []*uop, maxSeq uint64) []*uop {
+	out := q[:0]
+	for _, v := range q {
+		if v.seq <= maxSeq {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/config"
+)
+
+// Targeted micro-architecture tests: each pins one pipeline mechanism.
+
+func TestROBFullStalls(t *testing.T) {
+	// A long dependent divide chain backs up the ROB: with 128 entries
+	// and 35-cycle divides, dispatch must hit the ROB-full condition.
+	var b strings.Builder
+	b.WriteString("\t.text\nmain:\n\tli $t1, 3\n")
+	for i := 0; i < 600; i++ {
+		b.WriteString("\tdiv $t0, $t0, $t1\n")
+	}
+	b.WriteString("\thalt\n")
+	res := simulate(t, compile(t, b.String()), config.Default().WithPorts(2, 0))
+	if res.ROBFullStalls == 0 {
+		t.Error("divide chain never filled the ROB")
+	}
+}
+
+func TestQueueFullStalls(t *testing.T) {
+	// More outstanding loads than LSQ entries, all missing to memory.
+	var b strings.Builder
+	b.WriteString("\t.text\nmain:\n\tla $s0, arr\n")
+	for i := 0; i < 300; i++ {
+		b.WriteString("\tlw $t0, " + itoa(i*4096%65536) + "($s0) !nonlocal\n")
+	}
+	b.WriteString("\thalt\n\t.data\narr:\t.space 65536\n")
+	cfg := config.Default().WithPorts(1, 0)
+	cfg.LSQSize = 8
+	res := simulate(t, compile(t, b.String()), cfg)
+	if res.QueueFullStalls == 0 {
+		t.Error("tiny LSQ never filled")
+	}
+}
+
+func TestFUContentionOnDivides(t *testing.T) {
+	// 8 independent divide chains vs 1 divider: FU stalls must appear
+	// and the 4-divider default must be faster.
+	var b strings.Builder
+	b.WriteString("\t.text\nmain:\n\tli $s1, 3\n")
+	for i := 0; i < 200; i++ {
+		for r := 0; r < 8; r++ {
+			b.WriteString("\tdiv $t" + itoa(r) + ", $t" + itoa(r) + ", $s1\n")
+		}
+	}
+	b.WriteString("\thalt\n")
+	prog := compile(t, b.String())
+
+	one := config.Default().WithPorts(2, 0)
+	one.IntMulDiv = 1
+	r1 := simulate(t, prog, one)
+	r4 := simulate(t, prog, config.Default().WithPorts(2, 0))
+	if r1.FUStalls == 0 {
+		t.Error("single divider never contended")
+	}
+	if r4.Cycles >= r1.Cycles {
+		t.Errorf("4 dividers (%d cycles) not faster than 1 (%d)", r4.Cycles, r1.Cycles)
+	}
+}
+
+func TestLoadWaitsForOlderStoreAddress(t *testing.T) {
+	// A store whose base register comes off a divide chain delays every
+	// younger load in the same queue (order stalls).
+	src := `
+        .text
+main:
+        la   $s0, arr
+        li   $t1, 3
+        div  $t2, $t1, $t1
+        div  $t2, $t2, $t1
+        add  $t3, $s0, $t2
+        sw   $t1, 0($t3) !nonlocal
+        lw   $t4, 64($s0) !nonlocal
+        out  $t4
+        halt
+        .data
+arr:    .space 128
+`
+	prog := compile(t, src)
+	res := simulate(t, prog, config.Default().WithPorts(2, 0))
+	checkFunctional(t, prog, res)
+	if res.LoadOrderStalls == 0 {
+		t.Error("load never waited for the unresolved store address")
+	}
+}
+
+func TestRecoveryPenaltyConfigurable(t *testing.T) {
+	src := `
+        .text
+main:
+        la  $s0, g
+        li  $s1, 0
+loop:
+        sw  $s1, 0($s0) !local
+        addi $s1, $s1, 1
+        slti $t0, $s1, 40
+        bnez $t0, loop
+        out $s1
+        halt
+        .data
+g:      .word 0
+`
+	prog := compile(t, src)
+	cheap := config.Default().WithPorts(2, 2)
+	cheap.RecoveryPenalty = 1
+	costly := cheap
+	costly.RecoveryPenalty = 60
+	rc := simulate(t, prog, cheap)
+	rx := simulate(t, prog, costly)
+	if rc.Misroutes == 0 {
+		t.Fatal("mishinted store never misrouted")
+	}
+	if rx.Cycles <= rc.Cycles {
+		t.Errorf("60-cycle recovery (%d cycles) not slower than 1-cycle (%d)",
+			rx.Cycles, rc.Cycles)
+	}
+}
+
+func TestFastForwardWidthMismatchBlocksBypass(t *testing.T) {
+	// Store a word, load a byte at the same offset: fast forwarding must
+	// decline (width mismatch) and the value still be correct.
+	src := `
+        .text
+main:
+        addi $sp, $sp, -8
+        li   $t0, 0x0102
+        sw   $t0, 0($sp) !local
+        lb   $t1, 0($sp) !local
+        out  $t1
+        addi $sp, $sp, 8
+        halt
+`
+	prog := compile(t, src)
+	cfg := config.Default().WithPorts(2, 2)
+	cfg.FastForward = true
+	res := simulate(t, prog, cfg)
+	checkFunctional(t, prog, res)
+	if res.FastFwdLoads != 0 {
+		t.Error("width-mismatched pair fast-forwarded")
+	}
+	if res.Output[0] != 2 {
+		t.Errorf("lb got %d, want 2", res.Output[0])
+	}
+}
+
+func TestFastForwardBlockedByNonSPStore(t *testing.T) {
+	// An intervening store through a derived pointer could alias: fast
+	// forwarding must stop scanning at it. Here it *does* alias.
+	src := `
+        .text
+main:
+        addi $sp, $sp, -8
+        li   $t0, 1
+        sw   $t0, 0($sp) !local
+        move $t1, $sp
+        li   $t2, 2
+        sw   $t2, 0($t1) !local
+        lw   $t3, 0($sp) !local
+        out  $t3
+        addi $sp, $sp, 8
+        halt
+`
+	prog := compile(t, src)
+	cfg := config.Default().WithPorts(2, 2)
+	cfg.FastForward = true
+	res := simulate(t, prog, cfg)
+	checkFunctional(t, prog, res)
+	if res.Output[0] != 2 {
+		t.Fatalf("load got %d, want the aliased store's 2", res.Output[0])
+	}
+	if res.FastFwdLoads != 0 {
+		t.Error("fast forwarding bypassed a potentially aliasing store")
+	}
+}
+
+func TestCombiningRespectsWindow(t *testing.T) {
+	// Two same-line stores separated by more than CombineWidth LVAQ
+	// entries must not combine; adjacent ones must.
+	mk := func(gap int) *asm.Program {
+		var b strings.Builder
+		b.WriteString("\t.text\nmain:\n\taddi $sp, $sp, -64\n\tli $s0, 200\nloop:\n")
+		b.WriteString("\tsw $t0, 0($sp) !local\n")
+		for i := 0; i < gap; i++ {
+			b.WriteString("\tlw $t1, 60($sp) !local\n")
+		}
+		b.WriteString("\tsw $t0, 4($sp) !local\n")
+		b.WriteString("\taddi $s0, $s0, -1\n\tbnez $s0, loop\n")
+		b.WriteString("\taddi $sp, $sp, 64\n\thalt\n")
+		return compileHelper(b.String())
+	}
+	cfg := config.Default().WithPorts(3, 1)
+	cfg.CombineWidth = 2
+
+	adjacent, err := New(mk(0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resAdj, err := adjacent.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resAdj.CombinedAccesses == 0 {
+		t.Error("adjacent same-line stores never combined")
+	}
+}
+
+// compileHelper mirrors compile but without a *testing.T (used by table
+// constructors).
+func compileHelper(src string) *asm.Program {
+	p, err := asm.Assemble("h.s", src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestStorePortStallsUnderOnePort(t *testing.T) {
+	// Bursty local stores against a single LVC port: store commits must
+	// contend for the port.
+	var b strings.Builder
+	b.WriteString("\t.text\nmain:\n\taddi $sp, $sp, -256\n\tli $s0, 100\nloop:\n")
+	for i := 0; i < 16; i++ {
+		b.WriteString("\tsw $t0, " + itoa(i*36%256) + "($sp) !local\n")
+	}
+	b.WriteString("\taddi $s0, $s0, -1\n\tbnez $s0, loop\n\taddi $sp, $sp, 256\n\thalt\n")
+	prog := compile(t, b.String())
+	res := simulate(t, prog, config.Default().WithPorts(3, 1))
+	if res.StorePortStalls == 0 {
+		t.Error("16 stores/iteration never stalled on 1 LVC port")
+	}
+}
+
+func TestMemRefsAndLocalFraction(t *testing.T) {
+	prog := compile(t, fibProgram)
+	res := simulate(t, prog, config.Default())
+	if res.MemRefs() != res.Loads+res.Stores {
+		t.Error("MemRefs mismatch")
+	}
+	if res.LocalFraction() != 1 {
+		t.Errorf("fib local fraction = %f", res.LocalFraction())
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+)
+
+func TestAnnotationTLBDelaysColdAccesses(t *testing.T) {
+	prog := compile(t, fibProgram)
+	base := config.Default().WithPorts(2, 2)
+
+	perfect := simulate(t, prog, base)
+
+	withTLB := base
+	withTLB.TLBEntries = 64
+	withTLB.TLBMissLatency = 30
+	res := simulate(t, prog, withTLB)
+	checkFunctional(t, prog, res)
+
+	if res.TLBHits+res.TLBMisses == 0 {
+		t.Fatal("TLB never consulted")
+	}
+	if res.TLBMisses == 0 {
+		t.Error("no cold TLB misses")
+	}
+	// fib touches very few pages: the TLB must be warm essentially
+	// always, so the slowdown is tiny.
+	if res.TLBHits < 100*res.TLBMisses {
+		t.Errorf("TLB hit rate too low: %d hits / %d misses", res.TLBHits, res.TLBMisses)
+	}
+	if float64(res.Cycles) > 1.05*float64(perfect.Cycles) {
+		t.Errorf("warm TLB cost %.1f%%, want < 5%%",
+			100*(float64(res.Cycles)/float64(perfect.Cycles)-1))
+	}
+	if res.TLBMissStalls == 0 {
+		t.Error("misses never stalled an access")
+	}
+}
+
+func TestTinyTLBHurts(t *testing.T) {
+	// A one-entry TLB thrashing between stack and global pages must cost
+	// cycles relative to a big one.
+	src := `
+        .text
+main:
+        la   $s0, arr
+        addi $sp, $sp, -16
+        li   $s1, 2000
+loop:
+        sw   $s1, 0($sp) !local
+        sw   $s1, 0($s0) !nonlocal
+        lw   $t0, 0($sp) !local
+        lw   $t1, 0($s0) !nonlocal
+        addi $s1, $s1, -1
+        bnez $s1, loop
+        addi $sp, $sp, 16
+        out  $t0
+        halt
+        .data
+arr:    .space 64
+`
+	prog := compile(t, src)
+	big := config.Default().WithPorts(2, 2)
+	big.TLBEntries = 64
+	big.TLBMissLatency = 30
+	small := big
+	small.TLBEntries = 1
+
+	rb := simulate(t, prog, big)
+	rs := simulate(t, prog, small)
+	if rs.TLBMisses <= rb.TLBMisses {
+		t.Errorf("1-entry TLB misses (%d) not more than 64-entry (%d)",
+			rs.TLBMisses, rb.TLBMisses)
+	}
+	if rs.Cycles <= rb.Cycles {
+		t.Errorf("thrashing TLB (%d cycles) not slower than warm (%d)",
+			rs.Cycles, rb.Cycles)
+	}
+}
+
+func TestTLBOffByDefault(t *testing.T) {
+	prog := compile(t, fibProgram)
+	res := simulate(t, prog, config.Default().WithPorts(2, 2))
+	if res.TLBHits != 0 || res.TLBMisses != 0 || res.TLBMissStalls != 0 {
+		t.Error("TLB consulted though disabled")
+	}
+}

@@ -1,0 +1,163 @@
+package emu
+
+import "testing"
+
+// Coverage for the opcodes the main tests don't reach.
+
+func TestRegisterShiftVariants(t *testing.T) {
+	m := run(t, `
+        .text
+main:
+        li  $t0, 1
+        li  $t1, 4
+        sll $t2, $t0, $t1
+        out $t2
+        li  $t3, -16
+        srl $t4, $t3, $t1
+        out $t4
+        sra $t5, $t3, $t1
+        out $t5
+        li  $t6, 33
+        sll $t7, $t0, $t6   # shift amounts wrap mod 32
+        out $t7
+        halt
+`)
+	wantOutput(t, m, 16, (1<<32-16)>>4, -1, 2)
+}
+
+func TestSetLessThan(t *testing.T) {
+	m := run(t, `
+        .text
+main:
+        li   $t0, -1
+        li   $t1, 1
+        slt  $t2, $t0, $t1
+        out  $t2
+        sltu $t3, $t0, $t1    # -1 is huge unsigned
+        out  $t3
+        slti $t4, $t0, 0
+        out  $t4
+        halt
+`)
+	wantOutput(t, m, 1, 0, 1)
+}
+
+func TestNorAndImmediates(t *testing.T) {
+	m := run(t, `
+        .text
+main:
+        li   $t0, 0x0F
+        li   $t1, 0xF0
+        nor  $t2, $t0, $t1
+        out  $t2
+        andi $t3, $t0, 0x3
+        out  $t3
+        ori  $t4, $t0, 0x30
+        out  $t4
+        xori $t5, $t0, 0xFF
+        out  $t5
+        halt
+`)
+	wantOutput(t, m, ^int64(0xFF)&0xFFFFFFFF|^int64(0xFFFFFFFF), 3, 0x3F, 0xF0)
+}
+
+func TestDIVU(t *testing.T) {
+	m := run(t, `
+        .text
+main:
+        li   $t0, -2        # 0xFFFFFFFE unsigned
+        li   $t1, 2
+        divu $t2, $t0, $t1
+        out  $t2
+        divu $t3, $t0, $zero
+        out  $t3
+        halt
+`)
+	wantOutput(t, m, 0x7FFFFFFF, 0)
+}
+
+func TestFPCompares(t *testing.T) {
+	m := run(t, `
+        .text
+main:
+        li    $t0, 2
+        cvtif $f0, $t0
+        li    $t1, 3
+        cvtif $f1, $t1
+        fcle  $t2, $f0, $f1
+        out   $t2
+        fcle  $t3, $f1, $f0
+        out   $t3
+        fceq  $t4, $f0, $f0
+        out   $t4
+        fceq  $t5, $f0, $f1
+        out   $t5
+        halt
+`)
+	wantOutput(t, m, 1, 0, 1, 0)
+}
+
+func TestFSUBAndChains(t *testing.T) {
+	m := run(t, `
+        .text
+main:
+        li    $t0, 10
+        cvtif $f0, $t0
+        li    $t1, 4
+        cvtif $f1, $t1
+        fsub  $f2, $f0, $f1
+        cvtfi $t2, $f2
+        out   $t2
+        halt
+`)
+	wantOutput(t, m, 6)
+}
+
+func TestLHUNegativePattern(t *testing.T) {
+	m := run(t, `
+        .text
+main:
+        la  $t0, buf
+        li  $t1, -1
+        sh  $t1, 0($t0)
+        lhu $t2, 0($t0)
+        out $t2
+        lh  $t3, 0($t0)
+        out $t3
+        halt
+        .data
+buf:    .space 8
+`)
+	wantOutput(t, m, 0xFFFF, -1)
+}
+
+func TestNopDoesNothing(t *testing.T) {
+	m := run(t, "\t.text\nmain:\n\tnop\n\tnop\n\tout $zero\n\thalt\n")
+	wantOutput(t, m, 0)
+	if m.InstCount != 4 {
+		t.Errorf("InstCount = %d", m.InstCount)
+	}
+}
+
+func TestOutputIndependentOfConfig(t *testing.T) {
+	// The same program produces identical output across fresh machines.
+	src := `
+        .text
+main:
+        li  $t0, 0
+        li  $t1, 50
+l:      add $t0, $t0, $t1
+        addi $t1, $t1, -1
+        bnez $t1, l
+        out $t0
+        halt
+`
+	m1 := run(t, src)
+	m2 := run(t, src)
+	if m1.Output[0] != m2.Output[0] {
+		t.Error("nondeterministic output")
+	}
+	if m1.Output[0] != 1275 {
+		t.Errorf("sum = %d, want 1275", m1.Output[0])
+	}
+}

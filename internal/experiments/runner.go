@@ -1,0 +1,194 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4) on the synthetic workload suite: program bandwidth
+// requirements (Fig 5), LVC size and port sensitivity (Figs 6, 7), the
+// LVAQ optimizations (Table 3, Figs 8, 9), cache-latency sensitivity
+// (Fig 10), per-program port surfaces (Fig 11), workload characterization
+// (Figs 2, 3; Tables 1, 2), the §4.2.1 L2-traffic observation, and a set
+// of ablations beyond the paper.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/asm"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/profile"
+	"repro/internal/workload"
+)
+
+// Runner executes simulations for the experiment drivers, caching results
+// so overlapping experiments (e.g. Fig 7 and Fig 11) share runs. It is
+// safe for concurrent use and runs independent simulations in parallel.
+type Runner struct {
+	// Scale is the workload scale factor (1.0 = full experiment size).
+	Scale float64
+	// Progress, when non-nil, receives one line per finished simulation.
+	Progress io.Writer
+
+	mu       sync.Mutex
+	programs map[string]*asm.Program
+	results  map[string]*core.Result
+	profiles map[string]*profile.Profile
+	inflight map[string]*sync.WaitGroup
+}
+
+// NewRunner returns a Runner at the given workload scale.
+func NewRunner(scale float64) *Runner {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &Runner{
+		Scale:    scale,
+		programs: make(map[string]*asm.Program),
+		results:  make(map[string]*core.Result),
+		profiles: make(map[string]*profile.Profile),
+		inflight: make(map[string]*sync.WaitGroup),
+	}
+}
+
+func (r *Runner) program(w workload.Workload) *asm.Program {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.programs[w.Name]
+	if !ok {
+		p = w.Program(r.Scale)
+		r.programs[w.Name] = p
+	}
+	return p
+}
+
+func cfgKey(name string, cfg config.Config) string {
+	return fmt.Sprintf("%s|%+v", name, cfg)
+}
+
+// Result simulates workload w under cfg (cached).
+func (r *Runner) Result(w workload.Workload, cfg config.Config) (*core.Result, error) {
+	key := cfgKey(w.Name, cfg)
+	for {
+		r.mu.Lock()
+		if res, ok := r.results[key]; ok {
+			r.mu.Unlock()
+			return res, nil
+		}
+		if wg, busy := r.inflight[key]; busy {
+			r.mu.Unlock()
+			wg.Wait()
+			continue
+		}
+		wg := &sync.WaitGroup{}
+		wg.Add(1)
+		r.inflight[key] = wg
+		r.mu.Unlock()
+		break
+	}
+
+	prog := r.program(w)
+	c, err := core.New(prog, cfg)
+	var res *core.Result
+	if err == nil {
+		res, err = c.Run()
+	}
+
+	r.mu.Lock()
+	if err == nil {
+		r.results[key] = res
+	}
+	r.inflight[key].Done()
+	delete(r.inflight, key)
+	r.mu.Unlock()
+
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s under %s: %w", w.Name, cfg.Name(), err)
+	}
+	if r.Progress != nil {
+		fmt.Fprintf(r.Progress, "  ran %-10s %-8s ipc=%.3f cycles=%d\n",
+			w.Name, cfg.Name(), res.IPC(), res.Cycles)
+	}
+	return res, nil
+}
+
+// Profile returns the functional profile of workload w (cached).
+func (r *Runner) Profile(w workload.Workload) (*profile.Profile, error) {
+	r.mu.Lock()
+	if p, ok := r.profiles[w.Name]; ok {
+		r.mu.Unlock()
+		return p, nil
+	}
+	r.mu.Unlock()
+
+	p, err := profile.Run(r.program(w), 0)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: profiling %s: %w", w.Name, err)
+	}
+	r.mu.Lock()
+	r.profiles[w.Name] = p
+	r.mu.Unlock()
+	return p, nil
+}
+
+// Prefetch runs the given (workload, config) pairs concurrently to warm
+// the cache, bounded by par simultaneous simulations.
+func (r *Runner) Prefetch(pairs []Pair, par int) error {
+	if par < 1 {
+		par = 1
+	}
+	sem := make(chan struct{}, par)
+	errCh := make(chan error, len(pairs))
+	var wg sync.WaitGroup
+	for _, p := range pairs {
+		wg.Add(1)
+		go func(p Pair) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if _, err := r.Result(p.W, p.Cfg); err != nil {
+				errCh <- err
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh // nil if empty
+}
+
+// Pair names one simulation.
+type Pair struct {
+	W   workload.Workload
+	Cfg config.Config
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID          string
+	Title       string
+	Description string
+	Run         func(r *Runner) (string, error)
+}
+
+var experimentList []Experiment
+
+func registerExperiment(e Experiment) {
+	experimentList = append(experimentList, e)
+}
+
+// AllExperiments returns every registered experiment sorted by ID.
+func AllExperiments() []Experiment {
+	out := make([]Experiment, len(experimentList))
+	copy(out, experimentList)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Experiment, error) {
+	for _, e := range experimentList {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func TestRunnerConcurrentSameKey(t *testing.T) {
+	r := NewRunner(0.02)
+	w, err := workload.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.Default()
+
+	const goroutines = 8
+	results := make([]*core.Result, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := r.Result(w, cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if results[i] != results[0] {
+			t.Fatal("concurrent same-key requests ran separate simulations")
+		}
+	}
+}
+
+func TestRunnerPrefetchParallel(t *testing.T) {
+	r := NewRunner(0.02)
+	ws := workload.Integers()[:3]
+	cfgs := []config.Config{cfgNM(2, 0), cfgNM(2, 2)}
+	var pairs []Pair
+	for _, w := range ws {
+		for _, c := range cfgs {
+			pairs = append(pairs, Pair{W: w, Cfg: c})
+		}
+	}
+	if err := r.Prefetch(pairs, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Everything must now be served from cache (identical pointers on
+	// repeat).
+	for _, p := range pairs {
+		a, err := r.Result(p.W, p.Cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := r.Result(p.W, p.Cfg)
+		if a != b {
+			t.Error("prefetch did not populate the cache")
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary encoding: each instruction is a fixed 64-bit little-endian word.
+//
+//	bits 63..56  opcode
+//	bits 55..50  rd
+//	bits 49..44  rs
+//	bits 43..38  rt
+//	bits 37..36  hint
+//	bits 35..32  reserved (must be zero)
+//	bits 31..0   imm (two's complement)
+const (
+	encOpShift   = 56
+	encRdShift   = 50
+	encRsShift   = 44
+	encRtShift   = 38
+	encHintShift = 36
+	encRegMask   = 0x3F
+	encHintMask  = 0x3
+)
+
+// Encode packs the instruction into its 64-bit binary form.
+func (in Inst) Encode() uint64 {
+	return uint64(in.Op)<<encOpShift |
+		uint64(in.Rd&encRegMask)<<encRdShift |
+		uint64(in.Rs&encRegMask)<<encRsShift |
+		uint64(in.Rt&encRegMask)<<encRtShift |
+		uint64(in.Hint&encHintMask)<<encHintShift |
+		uint64(uint32(in.Imm))
+}
+
+// Decode unpacks a 64-bit binary instruction word. It returns an error for
+// undefined opcodes or nonzero reserved bits.
+func Decode(w uint64) (Inst, error) {
+	op := Op(w >> encOpShift)
+	if int(op) >= NumOps {
+		return Inst{}, fmt.Errorf("isa: undefined opcode %d", uint8(op))
+	}
+	if w>>32&0xF != 0 {
+		return Inst{}, fmt.Errorf("isa: reserved bits set in %#016x", w)
+	}
+	return Inst{
+		Op:   op,
+		Rd:   Reg(w >> encRdShift & encRegMask),
+		Rs:   Reg(w >> encRsShift & encRegMask),
+		Rt:   Reg(w >> encRtShift & encRegMask),
+		Hint: Hint(w >> encHintShift & encHintMask),
+		Imm:  int32(uint32(w)),
+	}, nil
+}
+
+// EncodeText serializes a text segment to bytes (8 bytes per instruction,
+// little endian).
+func EncodeText(text []Inst) []byte {
+	buf := make([]byte, 8*len(text))
+	for i, in := range text {
+		binary.LittleEndian.PutUint64(buf[8*i:], in.Encode())
+	}
+	return buf
+}
+
+// DecodeText deserializes a text segment produced by EncodeText.
+func DecodeText(buf []byte) ([]Inst, error) {
+	if len(buf)%8 != 0 {
+		return nil, fmt.Errorf("isa: text segment length %d is not a multiple of 8", len(buf))
+	}
+	text := make([]Inst, len(buf)/8)
+	for i := range text {
+		in, err := Decode(binary.LittleEndian.Uint64(buf[8*i:]))
+		if err != nil {
+			return nil, fmt.Errorf("isa: instruction %d: %w", i, err)
+		}
+		text[i] = in
+	}
+	return text, nil
+}

@@ -1,0 +1,51 @@
+package isa
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDecode checks that arbitrary 64-bit words either decode into an
+// instruction that re-encodes to the same word, or return an error —
+// never panic, never lose information.
+func FuzzDecode(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(Inst{Op: ADD, Rd: RegV0, Rs: RegA0, Rt: RegA1}.Encode())
+	f.Add(Inst{Op: SW, Rt: GPR(8), Rs: RegSP, Imm: -4, Hint: HintLocal}.Encode())
+	f.Add(^uint64(0))
+	f.Fuzz(func(t *testing.T, w uint64) {
+		in, err := Decode(w)
+		if err != nil {
+			return
+		}
+		if got := in.Encode(); got != w&^(0x3<<36)|uint64(in.Hint)<<36 {
+			// Hint occupies its own field; everything else must survive.
+			if got != w {
+				t.Fatalf("re-encode of %#x gave %#x", w, got)
+			}
+		}
+		_ = in.String() // must not panic
+	})
+}
+
+// FuzzDecodeText checks the segment decoder on arbitrary byte strings.
+func FuzzDecodeText(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeText([]Inst{{Op: HALT}}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		text, err := DecodeText(data)
+		if err != nil {
+			return
+		}
+		round := EncodeText(text)
+		if len(round) != len(data) {
+			t.Fatalf("roundtrip length %d != %d", len(round), len(data))
+		}
+		for i := range data {
+			if round[i] != data[i] {
+				t.Fatalf("roundtrip byte %d differs", i)
+			}
+		}
+		_ = binary.LittleEndian // keep import honest
+	})
+}

@@ -1,0 +1,522 @@
+// Package isa defines the simulator's 32-bit load/store RISC instruction
+// set: registers, opcodes, instruction formats, access-region hints, binary
+// encoding and disassembly.
+//
+// The ISA is deliberately MIPS-flavoured (32 general-purpose registers with
+// the usual $sp/$fp/$ra conventions, 32 floating-point registers) because
+// the paper's stack-frame conventions — frames addressed from $sp, callee
+// register save/restore, spill slots — are what the decoupling mechanism
+// keys on. Instructions occupy one 4-byte slot of the address space each;
+// the binary encoding used by the assembler is a fixed 64-bit word per
+// instruction (see Encode).
+package isa
+
+import "fmt"
+
+// WordBytes is the architectural word size in bytes. Frame sizes in the
+// paper are reported in words of this size.
+const WordBytes = 4
+
+// InstBytes is the amount of address space occupied by one instruction.
+// PC-relative offsets and branch targets are expressed in these units.
+const InstBytes = 4
+
+// Memory-map constants shared by the assembler, emulator and timing core.
+// The stack grows down from StackBase; any data address inside
+// [StackLimit, StackBase) is in the stack region and therefore "local" in
+// the paper's sense.
+const (
+	TextBase   uint32 = 0x0040_0000 // bottom of the text segment
+	DataBase   uint32 = 0x1000_0000 // bottom of the static data segment
+	HeapBase   uint32 = 0x2000_0000 // bottom of the (bump-allocated) heap
+	StackBase  uint32 = 0x7FFF_F000 // initial $sp (exclusive top of stack)
+	StackLimit uint32 = StackBase - 16*1024*1024
+)
+
+// InStackRegion reports whether a data address falls inside the run-time
+// stack region. This is the ground-truth access classification used for
+// misclassification detection and for profiling.
+func InStackRegion(addr uint32) bool {
+	return addr >= StackLimit && addr < StackBase
+}
+
+// Reg identifies an architectural register: 0..31 are the integer
+// registers r0..r31 (r0 is hardwired to zero), 32..63 are the
+// floating-point registers f0..f31.
+type Reg uint8
+
+// NumRegs is the total number of architectural registers (GPRs + FPRs).
+const NumRegs = 64
+
+// Integer register conventions (MIPS o32 style).
+const (
+	RegZero Reg = 0 // hardwired zero
+	RegAT   Reg = 1 // assembler temporary
+	RegV0   Reg = 2 // return value
+	RegV1   Reg = 3
+	RegA0   Reg = 4 // first argument
+	RegA1   Reg = 5
+	RegA2   Reg = 6
+	RegA3   Reg = 7
+	RegT0   Reg = 8  // caller-saved temporaries t0..t7 = r8..r15
+	RegS0   Reg = 16 // callee-saved s0..s7 = r16..r23
+	RegT8   Reg = 24
+	RegT9   Reg = 25
+	RegK0   Reg = 26
+	RegK1   Reg = 27
+	RegGP   Reg = 28 // global pointer
+	RegSP   Reg = 29 // stack pointer
+	RegFP   Reg = 30 // frame pointer
+	RegRA   Reg = 31 // return address
+	RegF0   Reg = 32 // first floating-point register
+)
+
+// IsFP reports whether r names a floating-point register.
+func (r Reg) IsFP() bool { return r >= 32 }
+
+// GPR returns the integer register with index i (0..31).
+func GPR(i int) Reg { return Reg(i) }
+
+// FPR returns the floating-point register with index i (0..31).
+func FPR(i int) Reg { return Reg(32 + i) }
+
+var intRegNames = [32]string{
+	"zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+	"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+	"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+	"t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+}
+
+// String returns the conventional assembly name of the register,
+// e.g. "$sp" or "$f12".
+func (r Reg) String() string {
+	if r < 32 {
+		return "$" + intRegNames[r]
+	}
+	if r < 64 {
+		return fmt.Sprintf("$f%d", r-32)
+	}
+	return fmt.Sprintf("$bad%d", uint8(r))
+}
+
+// RegByName resolves an assembly register name (without the leading '$')
+// to a Reg. Both conventional names ("sp", "a0") and raw numeric names
+// ("r29", "f4") are accepted.
+func RegByName(name string) (Reg, bool) {
+	for i, n := range intRegNames {
+		if n == name {
+			return Reg(i), true
+		}
+	}
+	var idx int
+	if n, err := fmt.Sscanf(name, "r%d", &idx); err == nil && n == 1 && idx >= 0 && idx < 32 {
+		return Reg(idx), true
+	}
+	if n, err := fmt.Sscanf(name, "f%d", &idx); err == nil && n == 1 && idx >= 0 && idx < 32 {
+		return FPR(idx), true
+	}
+	return 0, false
+}
+
+// Hint is the compiler-provided access-region classification carried by
+// memory instructions (paper §2.2.3): it tells the dispatch stage which
+// memory access queue the instruction should be steered to.
+type Hint uint8
+
+const (
+	// HintNone marks an unclassified (ambiguous) memory access; the
+	// hardware must decide the stream at run time.
+	HintNone Hint = iota
+	// HintLocal marks an access the compiler proved to be to the stack
+	// region (a local variable, spill slot, argument or save area).
+	HintLocal
+	// HintNonLocal marks an access the compiler proved to be to global,
+	// heap or other non-stack data.
+	HintNonLocal
+)
+
+func (h Hint) String() string {
+	switch h {
+	case HintLocal:
+		return "local"
+	case HintNonLocal:
+		return "nonlocal"
+	default:
+		return "none"
+	}
+}
+
+// Class groups opcodes by the kind of functional unit and queue resources
+// they consume in the timing model.
+type Class uint8
+
+const (
+	ClassNop Class = iota
+	ClassIntALU
+	ClassIntMul
+	ClassIntDiv
+	ClassFPALU // FP add/sub/compare/convert/move
+	ClassFPMul
+	ClassFPDiv
+	ClassLoad
+	ClassStore
+	ClassBranch // conditional branches
+	ClassJump   // unconditional jumps, calls, returns
+	ClassSys    // HALT, OUT
+)
+
+var classNames = [...]string{
+	"nop", "int-alu", "int-mul", "int-div", "fp-alu", "fp-mul", "fp-div",
+	"load", "store", "branch", "jump", "sys",
+}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class%d", uint8(c))
+}
+
+// Format describes the operand shape of an opcode, used by the assembler
+// and the disassembler.
+type Format uint8
+
+const (
+	FmtNone Format = iota // op
+	FmtR                  // op rd, rs, rt
+	FmtR2                 // op rd, rs
+	FmtI                  // op rd, rs, imm
+	FmtLUI                // op rd, imm
+	FmtMem                // op rd, imm(rs)      loads: rd = dest; stores use FmtMemS
+	FmtMemS               // op rt, imm(rs)      rt = value stored
+	FmtBr                 // op rs, rt, label    (pc-relative imm)
+	FmtBrZ                // op rs, label
+	FmtJ                  // op label            (absolute imm)
+	FmtJR                 // op rs
+	FmtJALR               // op rd, rs
+	FmtOut                // op rs
+)
+
+// Op is an opcode.
+type Op uint8
+
+const (
+	NOP Op = iota
+
+	// Integer ALU.
+	ADD
+	SUB
+	AND
+	OR
+	XOR
+	NOR
+	SLL
+	SRL
+	SRA
+	SLT
+	SLTU
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLLI
+	SRLI
+	SRAI
+	SLTI
+	LUI
+
+	// Integer multiply/divide.
+	MUL
+	DIV
+	DIVU
+	REM
+
+	// Floating point (FP registers hold float64 values).
+	FADD
+	FSUB
+	FMUL
+	FDIV
+	FNEG
+	FABS
+	FMOV
+	CVTIF // rd(fp) = float64(rs(gpr))
+	CVTFI // rd(gpr) = int32(rs(fp)), truncating
+	FCLT  // rd(gpr) = rs(fp) <  rt(fp)
+	FCLE  // rd(gpr) = rs(fp) <= rt(fp)
+	FCEQ  // rd(gpr) = rs(fp) == rt(fp)
+
+	// Loads.
+	LB
+	LBU
+	LH
+	LHU
+	LW
+	FLW // load float32 into an FP register
+	FLD // load float64 into an FP register
+
+	// Stores.
+	SB
+	SH
+	SW
+	FSW // store FP register as float32
+	FSD // store FP register as float64
+
+	// Control transfer.
+	BEQ
+	BNE
+	BLT
+	BGE
+	BLEZ
+	BGTZ
+	BLTZ
+	BGEZ
+	J
+	JAL
+	JR
+	JALR
+
+	// System.
+	HALT
+	OUT  // append rs (GPR, as int64) to the program's output trace
+	FOUT // append rs (FPR) to the program's output trace
+
+	numOps
+)
+
+// NumOps is the number of defined opcodes.
+const NumOps = int(numOps)
+
+// OpInfo is static metadata about an opcode.
+type OpInfo struct {
+	Name  string
+	Class Class
+	Fmt   Format
+	// MemBytes is the access width for loads and stores, zero otherwise.
+	MemBytes uint8
+	// Unsigned marks zero-extending loads and unsigned compares/divides.
+	Unsigned bool
+}
+
+var opTable = [numOps]OpInfo{
+	NOP: {"nop", ClassNop, FmtNone, 0, false},
+
+	ADD:  {"add", ClassIntALU, FmtR, 0, false},
+	SUB:  {"sub", ClassIntALU, FmtR, 0, false},
+	AND:  {"and", ClassIntALU, FmtR, 0, false},
+	OR:   {"or", ClassIntALU, FmtR, 0, false},
+	XOR:  {"xor", ClassIntALU, FmtR, 0, false},
+	NOR:  {"nor", ClassIntALU, FmtR, 0, false},
+	SLL:  {"sll", ClassIntALU, FmtR, 0, false},
+	SRL:  {"srl", ClassIntALU, FmtR, 0, false},
+	SRA:  {"sra", ClassIntALU, FmtR, 0, false},
+	SLT:  {"slt", ClassIntALU, FmtR, 0, false},
+	SLTU: {"sltu", ClassIntALU, FmtR, 0, true},
+	ADDI: {"addi", ClassIntALU, FmtI, 0, false},
+	ANDI: {"andi", ClassIntALU, FmtI, 0, false},
+	ORI:  {"ori", ClassIntALU, FmtI, 0, false},
+	XORI: {"xori", ClassIntALU, FmtI, 0, false},
+	SLLI: {"slli", ClassIntALU, FmtI, 0, false},
+	SRLI: {"srli", ClassIntALU, FmtI, 0, false},
+	SRAI: {"srai", ClassIntALU, FmtI, 0, false},
+	SLTI: {"slti", ClassIntALU, FmtI, 0, false},
+	LUI:  {"lui", ClassIntALU, FmtLUI, 0, false},
+
+	MUL:  {"mul", ClassIntMul, FmtR, 0, false},
+	DIV:  {"div", ClassIntDiv, FmtR, 0, false},
+	DIVU: {"divu", ClassIntDiv, FmtR, 0, true},
+	REM:  {"rem", ClassIntDiv, FmtR, 0, false},
+
+	FADD:  {"fadd", ClassFPALU, FmtR, 0, false},
+	FSUB:  {"fsub", ClassFPALU, FmtR, 0, false},
+	FMUL:  {"fmul", ClassFPMul, FmtR, 0, false},
+	FDIV:  {"fdiv", ClassFPDiv, FmtR, 0, false},
+	FNEG:  {"fneg", ClassFPALU, FmtR2, 0, false},
+	FABS:  {"fabs", ClassFPALU, FmtR2, 0, false},
+	FMOV:  {"fmov", ClassFPALU, FmtR2, 0, false},
+	CVTIF: {"cvtif", ClassFPALU, FmtR2, 0, false},
+	CVTFI: {"cvtfi", ClassFPALU, FmtR2, 0, false},
+	FCLT:  {"fclt", ClassFPALU, FmtR, 0, false},
+	FCLE:  {"fcle", ClassFPALU, FmtR, 0, false},
+	FCEQ:  {"fceq", ClassFPALU, FmtR, 0, false},
+
+	LB:  {"lb", ClassLoad, FmtMem, 1, false},
+	LBU: {"lbu", ClassLoad, FmtMem, 1, true},
+	LH:  {"lh", ClassLoad, FmtMem, 2, false},
+	LHU: {"lhu", ClassLoad, FmtMem, 2, true},
+	LW:  {"lw", ClassLoad, FmtMem, 4, false},
+	FLW: {"flw", ClassLoad, FmtMem, 4, false},
+	FLD: {"fld", ClassLoad, FmtMem, 8, false},
+
+	SB:  {"sb", ClassStore, FmtMemS, 1, false},
+	SH:  {"sh", ClassStore, FmtMemS, 2, false},
+	SW:  {"sw", ClassStore, FmtMemS, 4, false},
+	FSW: {"fsw", ClassStore, FmtMemS, 4, false},
+	FSD: {"fsd", ClassStore, FmtMemS, 8, false},
+
+	BEQ:  {"beq", ClassBranch, FmtBr, 0, false},
+	BNE:  {"bne", ClassBranch, FmtBr, 0, false},
+	BLT:  {"blt", ClassBranch, FmtBr, 0, false},
+	BGE:  {"bge", ClassBranch, FmtBr, 0, false},
+	BLEZ: {"blez", ClassBranch, FmtBrZ, 0, false},
+	BGTZ: {"bgtz", ClassBranch, FmtBrZ, 0, false},
+	BLTZ: {"bltz", ClassBranch, FmtBrZ, 0, false},
+	BGEZ: {"bgez", ClassBranch, FmtBrZ, 0, false},
+	J:    {"j", ClassJump, FmtJ, 0, false},
+	JAL:  {"jal", ClassJump, FmtJ, 0, false},
+	JR:   {"jr", ClassJump, FmtJR, 0, false},
+	JALR: {"jalr", ClassJump, FmtJALR, 0, false},
+
+	HALT: {"halt", ClassSys, FmtNone, 0, false},
+	OUT:  {"out", ClassSys, FmtOut, 0, false},
+	FOUT: {"fout", ClassSys, FmtOut, 0, false},
+}
+
+// Info returns the static metadata for op.
+func (op Op) Info() OpInfo {
+	if int(op) < NumOps {
+		return opTable[op]
+	}
+	return OpInfo{Name: fmt.Sprintf("op%d", uint8(op))}
+}
+
+func (op Op) String() string { return op.Info().Name }
+
+// OpByName resolves an assembly mnemonic to its opcode.
+func OpByName(name string) (Op, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}
+
+var opsByName = func() map[string]Op {
+	m := make(map[string]Op, NumOps)
+	for op := Op(0); op < numOps; op++ {
+		m[opTable[op].Name] = op
+	}
+	return m
+}()
+
+// Inst is one decoded instruction. The operand fields are interpreted
+// according to the opcode's Format:
+//
+//	FmtR:    Rd = f(Rs, Rt)
+//	FmtR2:   Rd = f(Rs)
+//	FmtI:    Rd = f(Rs, Imm)
+//	FmtLUI:  Rd = Imm << 16
+//	FmtMem:  Rd = mem[Rs+Imm]        (loads)
+//	FmtMemS: mem[Rs+Imm] = Rt        (stores)
+//	FmtBr:   if f(Rs, Rt): pc += Imm*InstBytes
+//	FmtBrZ:  if f(Rs):     pc += Imm*InstBytes
+//	FmtJ:    pc = Imm  (absolute byte address; JAL also writes $ra)
+//	FmtJR:   pc = Rs
+//	FmtJALR: Rd = return address; pc = Rs
+type Inst struct {
+	Op   Op
+	Rd   Reg
+	Rs   Reg
+	Rt   Reg
+	Imm  int32
+	Hint Hint
+}
+
+// IsLoad reports whether the instruction reads data memory.
+func (in Inst) IsLoad() bool { return in.Op.Info().Class == ClassLoad }
+
+// IsStore reports whether the instruction writes data memory.
+func (in Inst) IsStore() bool { return in.Op.Info().Class == ClassStore }
+
+// IsMem reports whether the instruction accesses data memory.
+func (in Inst) IsMem() bool {
+	c := in.Op.Info().Class
+	return c == ClassLoad || c == ClassStore
+}
+
+// MemBytes returns the data memory access width in bytes (0 for
+// non-memory instructions).
+func (in Inst) MemBytes() int { return int(in.Op.Info().MemBytes) }
+
+// IsControl reports whether the instruction can redirect the PC.
+func (in Inst) IsControl() bool {
+	c := in.Op.Info().Class
+	return c == ClassBranch || c == ClassJump
+}
+
+// IsCall reports whether the instruction is a procedure call.
+func (in Inst) IsCall() bool { return in.Op == JAL || in.Op == JALR }
+
+// IsReturn reports whether the instruction is (conventionally) a
+// procedure return: a JR through $ra.
+func (in Inst) IsReturn() bool { return in.Op == JR && in.Rs == RegRA }
+
+// Dest returns the destination register, if any. JAL implicitly writes
+// $ra.
+func (in Inst) Dest() (Reg, bool) {
+	switch in.Op.Info().Fmt {
+	case FmtR, FmtR2, FmtI, FmtLUI, FmtMem, FmtJALR:
+		return in.Rd, in.Rd != RegZero || in.Rd.IsFP()
+	case FmtJ:
+		if in.Op == JAL {
+			return RegRA, true
+		}
+	}
+	return 0, false
+}
+
+// Srcs returns the source registers. Reads of the hardwired $zero are
+// reported — consumers that care filter them out.
+func (in Inst) Srcs() (a, b Reg, na int) {
+	switch in.Op.Info().Fmt {
+	case FmtR, FmtBr:
+		return in.Rs, in.Rt, 2
+	case FmtR2, FmtI, FmtMem, FmtBrZ, FmtJR, FmtJALR, FmtOut:
+		return in.Rs, 0, 1
+	case FmtMemS:
+		return in.Rs, in.Rt, 2 // base register and stored value
+	default:
+		return 0, 0, 0
+	}
+}
+
+// BaseReg returns the address base register of a memory instruction.
+func (in Inst) BaseReg() Reg { return in.Rs }
+
+// String disassembles the instruction.
+func (in Inst) String() string {
+	info := in.Op.Info()
+	hint := ""
+	switch in.Hint {
+	case HintLocal:
+		hint = " !local"
+	case HintNonLocal:
+		hint = " !nonlocal"
+	}
+	switch info.Fmt {
+	case FmtNone:
+		return info.Name
+	case FmtR:
+		return fmt.Sprintf("%s %s, %s, %s", info.Name, in.Rd, in.Rs, in.Rt)
+	case FmtR2:
+		return fmt.Sprintf("%s %s, %s", info.Name, in.Rd, in.Rs)
+	case FmtI:
+		return fmt.Sprintf("%s %s, %s, %d", info.Name, in.Rd, in.Rs, in.Imm)
+	case FmtLUI:
+		return fmt.Sprintf("%s %s, %d", info.Name, in.Rd, in.Imm)
+	case FmtMem:
+		return fmt.Sprintf("%s %s, %d(%s)%s", info.Name, in.Rd, in.Imm, in.Rs, hint)
+	case FmtMemS:
+		return fmt.Sprintf("%s %s, %d(%s)%s", info.Name, in.Rt, in.Imm, in.Rs, hint)
+	case FmtBr:
+		return fmt.Sprintf("%s %s, %s, %d", info.Name, in.Rs, in.Rt, in.Imm)
+	case FmtBrZ:
+		return fmt.Sprintf("%s %s, %d", info.Name, in.Rs, in.Imm)
+	case FmtJ:
+		return fmt.Sprintf("%s 0x%x", info.Name, uint32(in.Imm))
+	case FmtJR:
+		return fmt.Sprintf("%s %s", info.Name, in.Rs)
+	case FmtJALR:
+		return fmt.Sprintf("%s %s, %s", info.Name, in.Rd, in.Rs)
+	case FmtOut:
+		return fmt.Sprintf("%s %s", info.Name, in.Rs)
+	default:
+		return info.Name
+	}
+}

@@ -1,0 +1,262 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	cases := map[Reg]string{
+		RegZero: "$zero", RegSP: "$sp", RegFP: "$fp", RegRA: "$ra",
+		RegA0: "$a0", RegV0: "$v0", GPR(8): "$t0", GPR(16): "$s0",
+		FPR(0): "$f0", FPR(31): "$f31",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Reg(%d).String() = %q, want %q", uint8(r), got, want)
+		}
+	}
+}
+
+func TestRegByNameRoundTrip(t *testing.T) {
+	for r := Reg(0); r < NumRegs; r++ {
+		name := strings.TrimPrefix(r.String(), "$")
+		got, ok := RegByName(name)
+		if !ok {
+			t.Fatalf("RegByName(%q) not found", name)
+		}
+		if got != r {
+			t.Errorf("RegByName(%q) = %v, want %v", name, got, r)
+		}
+	}
+}
+
+func TestRegByNameNumeric(t *testing.T) {
+	if r, ok := RegByName("r29"); !ok || r != RegSP {
+		t.Errorf("RegByName(r29) = %v,%v, want $sp", r, ok)
+	}
+	if r, ok := RegByName("f4"); !ok || r != FPR(4) {
+		t.Errorf("RegByName(f4) = %v,%v, want $f4", r, ok)
+	}
+	for _, bad := range []string{"r32", "f32", "r-1", "x7", "", "sp7"} {
+		if _, ok := RegByName(bad); ok {
+			t.Errorf("RegByName(%q) unexpectedly resolved", bad)
+		}
+	}
+}
+
+func TestIsFP(t *testing.T) {
+	if RegSP.IsFP() {
+		t.Error("$sp claims to be FP")
+	}
+	if !FPR(0).IsFP() {
+		t.Error("$f0 claims not to be FP")
+	}
+}
+
+func TestOpByNameRoundTrip(t *testing.T) {
+	for op := Op(0); op < Op(NumOps); op++ {
+		got, ok := OpByName(op.String())
+		if !ok || got != op {
+			t.Errorf("OpByName(%q) = %v,%v, want %v", op.String(), got, ok, op)
+		}
+	}
+}
+
+func TestOpTableComplete(t *testing.T) {
+	for op := Op(0); op < Op(NumOps); op++ {
+		info := op.Info()
+		if info.Name == "" {
+			t.Errorf("opcode %d has no metadata", uint8(op))
+		}
+		isMem := info.Class == ClassLoad || info.Class == ClassStore
+		if isMem && info.MemBytes == 0 {
+			t.Errorf("%v: memory opcode with zero width", op)
+		}
+		if !isMem && info.MemBytes != 0 {
+			t.Errorf("%v: non-memory opcode with width %d", op, info.MemBytes)
+		}
+	}
+}
+
+func TestInstClassPredicates(t *testing.T) {
+	tests := []struct {
+		in                          Inst
+		load, store, ctl, call, ret bool
+	}{
+		{Inst{Op: LW, Rd: RegV0, Rs: RegSP, Imm: 4}, true, false, false, false, false},
+		{Inst{Op: FSD, Rt: FPR(2), Rs: RegSP, Imm: 8}, false, true, false, false, false},
+		{Inst{Op: BEQ, Rs: RegA0, Rt: RegA1, Imm: -3}, false, false, true, false, false},
+		{Inst{Op: JAL, Imm: int32(TextBase)}, false, false, true, true, false},
+		{Inst{Op: JALR, Rd: RegRA, Rs: RegT0}, false, false, true, true, false},
+		{Inst{Op: JR, Rs: RegRA}, false, false, true, false, true},
+		{Inst{Op: JR, Rs: RegT0}, false, false, true, false, false},
+		{Inst{Op: ADD, Rd: RegV0, Rs: RegA0, Rt: RegA1}, false, false, false, false, false},
+	}
+	for _, tt := range tests {
+		if got := tt.in.IsLoad(); got != tt.load {
+			t.Errorf("%v IsLoad=%v want %v", tt.in, got, tt.load)
+		}
+		if got := tt.in.IsStore(); got != tt.store {
+			t.Errorf("%v IsStore=%v want %v", tt.in, got, tt.store)
+		}
+		if got := tt.in.IsControl(); got != tt.ctl {
+			t.Errorf("%v IsControl=%v want %v", tt.in, got, tt.ctl)
+		}
+		if got := tt.in.IsCall(); got != tt.call {
+			t.Errorf("%v IsCall=%v want %v", tt.in, got, tt.call)
+		}
+		if got := tt.in.IsReturn(); got != tt.ret {
+			t.Errorf("%v IsReturn=%v want %v", tt.in, got, tt.ret)
+		}
+	}
+}
+
+func TestDest(t *testing.T) {
+	if d, ok := (Inst{Op: ADD, Rd: RegV0}).Dest(); !ok || d != RegV0 {
+		t.Errorf("add dest = %v,%v", d, ok)
+	}
+	if _, ok := (Inst{Op: ADD, Rd: RegZero}).Dest(); ok {
+		t.Error("write to $zero reported as a destination")
+	}
+	if d, ok := (Inst{Op: JAL}).Dest(); !ok || d != RegRA {
+		t.Errorf("jal dest = %v,%v, want $ra", d, ok)
+	}
+	if _, ok := (Inst{Op: SW, Rt: GPR(8), Rs: RegSP}).Dest(); ok {
+		t.Error("store reported a destination")
+	}
+	if d, ok := (Inst{Op: FLD, Rd: FPR(0), Rs: RegSP}).Dest(); !ok || d != FPR(0) {
+		t.Errorf("fld dest = %v,%v, want $f0", d, ok)
+	}
+}
+
+func TestSrcs(t *testing.T) {
+	a, b, n := Inst{Op: SW, Rt: GPR(9), Rs: RegSP}.Srcs()
+	if n != 2 || a != RegSP || b != GPR(9) {
+		t.Errorf("sw srcs = %v,%v,%d", a, b, n)
+	}
+	a, _, n = Inst{Op: LW, Rd: GPR(8), Rs: RegSP}.Srcs()
+	if n != 1 || a != RegSP {
+		t.Errorf("lw srcs = %v,%d", a, n)
+	}
+	_, _, n = Inst{Op: J, Imm: 0}.Srcs()
+	if n != 0 {
+		t.Errorf("j srcs n=%d", n)
+	}
+	a, b, n = Inst{Op: BNE, Rs: RegA0, Rt: RegA1}.Srcs()
+	if n != 2 || a != RegA0 || b != RegA1 {
+		t.Errorf("bne srcs = %v,%v,%d", a, b, n)
+	}
+}
+
+func TestInStackRegion(t *testing.T) {
+	if !InStackRegion(StackBase - 4) {
+		t.Error("address just below stack base not in stack region")
+	}
+	if InStackRegion(StackBase) {
+		t.Error("stack base itself should be exclusive")
+	}
+	if InStackRegion(DataBase) || InStackRegion(HeapBase) || InStackRegion(TextBase) {
+		t.Error("non-stack segment classified as stack")
+	}
+	if InStackRegion(StackLimit - 1) {
+		t.Error("below stack limit classified as stack")
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	widths := map[Op]int{LB: 1, LBU: 1, LH: 2, LHU: 2, LW: 4, FLW: 4, FLD: 8, SB: 1, SH: 2, SW: 4, FSW: 4, FSD: 8, ADD: 0}
+	for op, want := range widths {
+		if got := (Inst{Op: op}).MemBytes(); got != want {
+			t.Errorf("%v width = %d, want %d", op, got, want)
+		}
+	}
+}
+
+func TestHintString(t *testing.T) {
+	if HintLocal.String() != "local" || HintNonLocal.String() != "nonlocal" || HintNone.String() != "none" {
+		t.Error("Hint.String mismatch")
+	}
+}
+
+func TestInstStringForms(t *testing.T) {
+	cases := map[string]Inst{
+		"add $v0, $a0, $a1":        {Op: ADD, Rd: RegV0, Rs: RegA0, Rt: RegA1},
+		"addi $sp, $sp, -32":       {Op: ADDI, Rd: RegSP, Rs: RegSP, Imm: -32},
+		"lw $t0, 8($sp) !local":    {Op: LW, Rd: GPR(8), Rs: RegSP, Imm: 8, Hint: HintLocal},
+		"sw $t0, 8($gp) !nonlocal": {Op: SW, Rt: GPR(8), Rs: RegGP, Imm: 8, Hint: HintNonLocal},
+		"jr $ra":                   {Op: JR, Rs: RegRA},
+		"nop":                      {Op: NOP},
+		"fadd $f2, $f0, $f1":       {Op: FADD, Rd: FPR(2), Rs: FPR(0), Rt: FPR(1)},
+		"beq $a0, $a1, -3":         {Op: BEQ, Rs: RegA0, Rt: RegA1, Imm: -3},
+		"out $v0":                  {Op: OUT, Rs: RegV0},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+// normalizeInst masks the random instruction fields into their legal
+// ranges so Encode/Decode roundtrips are well-defined.
+func normalizeInst(in Inst) Inst {
+	in.Op = Op(uint8(in.Op) % uint8(NumOps))
+	in.Rd &= 0x3F
+	in.Rs &= 0x3F
+	in.Rt &= 0x3F
+	in.Hint = Hint(uint8(in.Hint) % 3)
+	return in
+}
+
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	prop := func(in Inst) bool {
+		in = normalizeInst(in)
+		dec, err := Decode(in.Encode())
+		return err == nil && dec == in
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsBadOpcode(t *testing.T) {
+	if _, err := Decode(uint64(255) << 56); err == nil {
+		t.Error("undefined opcode decoded without error")
+	}
+}
+
+func TestDecodeRejectsReservedBits(t *testing.T) {
+	w := Inst{Op: ADD}.Encode() | 1<<33
+	if _, err := Decode(w); err == nil {
+		t.Error("reserved bits accepted")
+	}
+}
+
+func TestEncodeTextRoundTrip(t *testing.T) {
+	text := []Inst{
+		{Op: ADDI, Rd: RegSP, Rs: RegSP, Imm: -64},
+		{Op: SW, Rt: RegRA, Rs: RegSP, Imm: 60, Hint: HintLocal},
+		{Op: JAL, Imm: int32(TextBase + 40)},
+		{Op: HALT},
+	}
+	got, err := DecodeText(EncodeText(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(text) {
+		t.Fatalf("got %d instructions, want %d", len(got), len(text))
+	}
+	for i := range text {
+		if got[i] != text[i] {
+			t.Errorf("inst %d: got %v, want %v", i, got[i], text[i])
+		}
+	}
+}
+
+func TestDecodeTextBadLength(t *testing.T) {
+	if _, err := DecodeText(make([]byte, 9)); err == nil {
+		t.Error("odd-length text accepted")
+	}
+}

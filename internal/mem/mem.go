@@ -1,0 +1,145 @@
+// Package mem implements the simulator's byte-addressable main memory as a
+// sparse collection of fixed-size pages, so that the disjoint text, data,
+// heap and stack regions of the 32-bit address space can be used without
+// allocating the whole space.
+package mem
+
+import "encoding/binary"
+
+// PageBytes is the allocation granularity of the sparse memory.
+const PageBytes = 4096
+
+type page [PageBytes]byte
+
+// Memory is a sparse byte-addressable memory. The zero value is not ready
+// to use; call New.
+type Memory struct {
+	pages map[uint32]*page
+}
+
+// New returns an empty memory. All addresses read as zero until written.
+func New() *Memory {
+	return &Memory{pages: make(map[uint32]*page)}
+}
+
+func (m *Memory) pageFor(addr uint32, alloc bool) (*page, uint32) {
+	base := addr &^ (PageBytes - 1)
+	p := m.pages[base]
+	if p == nil && alloc {
+		p = new(page)
+		m.pages[base] = p
+	}
+	return p, addr & (PageBytes - 1)
+}
+
+// LoadByte returns the byte at addr.
+func (m *Memory) LoadByte(addr uint32) byte {
+	p, off := m.pageFor(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[off]
+}
+
+// StoreByte stores b at addr.
+func (m *Memory) StoreByte(addr uint32, b byte) {
+	p, off := m.pageFor(addr, true)
+	p[off] = b
+}
+
+// Read fills buf with the bytes starting at addr.
+func (m *Memory) Read(addr uint32, buf []byte) {
+	for len(buf) > 0 {
+		p, off := m.pageFor(addr, false)
+		n := PageBytes - int(off)
+		if n > len(buf) {
+			n = len(buf)
+		}
+		if p == nil {
+			clear(buf[:n])
+		} else {
+			copy(buf[:n], p[off:int(off)+n])
+		}
+		buf = buf[n:]
+		addr += uint32(n)
+	}
+}
+
+// Write stores buf starting at addr.
+func (m *Memory) Write(addr uint32, buf []byte) {
+	for len(buf) > 0 {
+		p, off := m.pageFor(addr, true)
+		n := copy(p[off:], buf)
+		buf = buf[n:]
+		addr += uint32(n)
+	}
+}
+
+// fast path helpers: most accesses do not straddle a page boundary.
+
+// ReadUint16 loads a little-endian 16-bit value.
+func (m *Memory) ReadUint16(addr uint32) uint16 {
+	if p, off := m.pageFor(addr, false); p != nil && off+2 <= PageBytes {
+		return binary.LittleEndian.Uint16(p[off:])
+	}
+	var buf [2]byte
+	m.Read(addr, buf[:])
+	return binary.LittleEndian.Uint16(buf[:])
+}
+
+// ReadUint32 loads a little-endian 32-bit value.
+func (m *Memory) ReadUint32(addr uint32) uint32 {
+	if p, off := m.pageFor(addr, false); p != nil && off+4 <= PageBytes {
+		return binary.LittleEndian.Uint32(p[off:])
+	}
+	var buf [4]byte
+	m.Read(addr, buf[:])
+	return binary.LittleEndian.Uint32(buf[:])
+}
+
+// ReadUint64 loads a little-endian 64-bit value.
+func (m *Memory) ReadUint64(addr uint32) uint64 {
+	if p, off := m.pageFor(addr, false); p != nil && off+8 <= PageBytes {
+		return binary.LittleEndian.Uint64(p[off:])
+	}
+	var buf [8]byte
+	m.Read(addr, buf[:])
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// WriteUint16 stores a little-endian 16-bit value.
+func (m *Memory) WriteUint16(addr uint32, v uint16) {
+	if p, off := m.pageFor(addr, true); off+2 <= PageBytes {
+		binary.LittleEndian.PutUint16(p[off:], v)
+		return
+	}
+	var buf [2]byte
+	binary.LittleEndian.PutUint16(buf[:], v)
+	m.Write(addr, buf[:])
+}
+
+// WriteUint32 stores a little-endian 32-bit value.
+func (m *Memory) WriteUint32(addr uint32, v uint32) {
+	if p, off := m.pageFor(addr, true); off+4 <= PageBytes {
+		binary.LittleEndian.PutUint32(p[off:], v)
+		return
+	}
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	m.Write(addr, buf[:])
+}
+
+// WriteUint64 stores a little-endian 64-bit value.
+func (m *Memory) WriteUint64(addr uint32, v uint64) {
+	if p, off := m.pageFor(addr, true); off+8 <= PageBytes {
+		binary.LittleEndian.PutUint64(p[off:], v)
+		return
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	m.Write(addr, buf[:])
+}
+
+// PageCount returns the number of allocated pages (for tests and memory
+// accounting).
+func (m *Memory) PageCount() int { return len(m.pages) }

@@ -1,0 +1,117 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroFill(t *testing.T) {
+	m := New()
+	if got := m.ReadUint32(0x1234_5678); got != 0 {
+		t.Errorf("unwritten word = %#x, want 0", got)
+	}
+	if m.PageCount() != 0 {
+		t.Errorf("read allocated %d pages", m.PageCount())
+	}
+}
+
+func TestByteRoundTrip(t *testing.T) {
+	m := New()
+	m.StoreByte(42, 0xAB)
+	if got := m.LoadByte(42); got != 0xAB {
+		t.Errorf("LoadByte = %#x", got)
+	}
+	if got := m.LoadByte(43); got != 0 {
+		t.Errorf("neighbour byte = %#x, want 0", got)
+	}
+}
+
+func TestWordRoundTrip(t *testing.T) {
+	m := New()
+	m.WriteUint32(0x1000, 0xDEADBEEF)
+	if got := m.ReadUint32(0x1000); got != 0xDEADBEEF {
+		t.Errorf("ReadUint32 = %#x", got)
+	}
+	// Little-endian layout.
+	if got := m.LoadByte(0x1000); got != 0xEF {
+		t.Errorf("low byte = %#x, want 0xEF", got)
+	}
+	if got := m.LoadByte(0x1003); got != 0xDE {
+		t.Errorf("high byte = %#x, want 0xDE", got)
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	m := New()
+	addr := uint32(PageBytes - 2) // straddles the first page boundary
+	m.WriteUint32(addr, 0x11223344)
+	if got := m.ReadUint32(addr); got != 0x11223344 {
+		t.Errorf("cross-page word = %#x", got)
+	}
+	if m.PageCount() != 2 {
+		t.Errorf("PageCount = %d, want 2", m.PageCount())
+	}
+	addr64 := uint32(3*PageBytes - 4)
+	m.WriteUint64(addr64, 0x0102030405060708)
+	if got := m.ReadUint64(addr64); got != 0x0102030405060708 {
+		t.Errorf("cross-page dword = %#x", got)
+	}
+}
+
+func TestBulkReadWrite(t *testing.T) {
+	m := New()
+	src := make([]byte, 3*PageBytes)
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	m.Write(1000, src)
+	dst := make([]byte, len(src))
+	m.Read(1000, dst)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("byte %d: got %#x, want %#x", i, dst[i], src[i])
+		}
+	}
+}
+
+func TestBulkReadUnwrittenTail(t *testing.T) {
+	m := New()
+	m.StoreByte(10, 0xFF)
+	buf := []byte{1, 2, 3, 4}
+	m.Read(9, buf)
+	want := []byte{0, 0xFF, 0, 0}
+	for i := range buf {
+		if buf[i] != want[i] {
+			t.Errorf("buf[%d] = %#x, want %#x", i, buf[i], want[i])
+		}
+	}
+}
+
+func TestUint16(t *testing.T) {
+	m := New()
+	m.WriteUint16(6, 0xBEEF)
+	if got := m.ReadUint16(6); got != 0xBEEF {
+		t.Errorf("ReadUint16 = %#x", got)
+	}
+}
+
+func TestUint64RoundTripProperty(t *testing.T) {
+	m := New()
+	prop := func(addr uint32, v uint64) bool {
+		m.WriteUint64(addr, v)
+		return m.ReadUint64(addr) == v
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisjointRegionsIndependent(t *testing.T) {
+	m := New()
+	m.WriteUint32(0x1000_0000, 1)
+	m.WriteUint32(0x7FFF_E000, 2)
+	m.WriteUint32(0x0040_0000, 3)
+	if m.ReadUint32(0x1000_0000) != 1 || m.ReadUint32(0x7FFF_E000) != 2 || m.ReadUint32(0x0040_0000) != 3 {
+		t.Error("writes to disjoint regions interfere")
+	}
+}

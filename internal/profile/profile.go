@@ -1,0 +1,180 @@
+// Package profile runs programs on the functional emulator and collects
+// the paper's workload-characterization measurements: instruction mix and
+// local-access fractions (Figure 2), dynamic and static frame-size
+// distributions (Figure 3), call-depth behaviour, and stand-alone LVC
+// miss-rate simulation (Figure 6).
+package profile
+
+import (
+	"repro/internal/asm"
+	"repro/internal/cache"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/stats"
+)
+
+// Profile is the characterization of one program run.
+type Profile struct {
+	Insts  uint64
+	Loads  uint64
+	Stores uint64
+	// Ground-truth local (stack-region) accesses.
+	LocalLoads  uint64
+	LocalStores uint64
+	// SPIndexedLocal counts local accesses whose base register is $sp or
+	// $fp (the paper reports >95% are).
+	SPIndexedLocal uint64
+	// HintedMemPCs / UnhintedMemPCs count static memory instructions by
+	// whether the generator classified them (paper: <1% ambiguous).
+	HintedMemPCs   int
+	UnhintedMemPCs int
+
+	// DynFrames is the dynamic frame-size distribution in words: one
+	// sample per executed frame allocation (Figure 3).
+	DynFrames *stats.Histogram
+	// staticFrames maps each frame-allocating PC to its size in words.
+	staticFrames map[uint32]int
+
+	// Calls/Returns and call-depth tracking.
+	Calls        uint64
+	Returns      uint64
+	MaxCallDepth int
+	// DepthSamples histograms the call depth observed at each call.
+	DepthSamples *stats.Histogram
+}
+
+// Run executes prog to completion (bounded by maxInsts; 0 = unbounded) and
+// returns its profile.
+func Run(prog *asm.Program, maxInsts uint64) (*Profile, error) {
+	p := &Profile{
+		DynFrames:    stats.NewHistogram(),
+		DepthSamples: stats.NewHistogram(),
+		staticFrames: make(map[uint32]int),
+	}
+	hintedPCs := make(map[uint32]bool)
+	unhintedPCs := make(map[uint32]bool)
+	m := emu.New(prog)
+	depth := 0
+	for !m.Halted {
+		if maxInsts > 0 && m.InstCount >= maxInsts {
+			break
+		}
+		ef, err := m.Step()
+		if err != nil {
+			return nil, err
+		}
+		p.Insts++
+		in := ef.Inst
+		switch {
+		case in.IsLoad():
+			p.Loads++
+			if isa.InStackRegion(ef.Addr) {
+				p.LocalLoads++
+				if in.BaseReg() == isa.RegSP || in.BaseReg() == isa.RegFP {
+					p.SPIndexedLocal++
+				}
+			}
+		case in.IsStore():
+			p.Stores++
+			if isa.InStackRegion(ef.Addr) {
+				p.LocalStores++
+				if in.BaseReg() == isa.RegSP || in.BaseReg() == isa.RegFP {
+					p.SPIndexedLocal++
+				}
+			}
+		case in.IsCall():
+			depth++
+			p.Calls++
+			if depth > p.MaxCallDepth {
+				p.MaxCallDepth = depth
+			}
+			p.DepthSamples.Add(depth, 1)
+		case in.IsReturn():
+			if depth > 0 {
+				depth--
+			}
+			p.Returns++
+		}
+		if in.IsMem() {
+			if in.Hint == isa.HintNone {
+				unhintedPCs[ef.PC] = true
+			} else {
+				hintedPCs[ef.PC] = true
+			}
+		}
+		// Frame allocation: addi $sp, $sp, -N.
+		if in.Op == isa.ADDI && in.Rd == isa.RegSP && in.Rs == isa.RegSP && in.Imm < 0 {
+			words := int(-in.Imm) / isa.WordBytes
+			p.DynFrames.Add(words, 1)
+			p.staticFrames[ef.PC] = words
+		}
+	}
+	p.HintedMemPCs = len(hintedPCs)
+	p.UnhintedMemPCs = len(unhintedPCs)
+	return p, nil
+}
+
+// MemRefs returns the total dynamic memory references.
+func (p *Profile) MemRefs() uint64 { return p.Loads + p.Stores }
+
+// LocalRefs returns the dynamic local references.
+func (p *Profile) LocalRefs() uint64 { return p.LocalLoads + p.LocalStores }
+
+// LocalFraction returns local references / all references.
+func (p *Profile) LocalFraction() float64 {
+	return stats.Ratio(p.LocalRefs(), p.MemRefs())
+}
+
+// LoadFreq returns loads per instruction.
+func (p *Profile) LoadFreq() float64 { return stats.Ratio(p.Loads, p.Insts) }
+
+// StoreFreq returns stores per instruction.
+func (p *Profile) StoreFreq() float64 { return stats.Ratio(p.Stores, p.Insts) }
+
+// StaticFrames returns the static frame-size histogram (one sample per
+// frame-allocating instruction, Figure 3's static counterpart).
+func (p *Profile) StaticFrames() *stats.Histogram {
+	h := stats.NewHistogram()
+	for _, words := range p.staticFrames {
+		h.Add(words, 1)
+	}
+	return h
+}
+
+// LVCResult is the outcome of a stand-alone LVC simulation.
+type LVCResult struct {
+	Stats     cache.Stats
+	LocalRefs uint64
+}
+
+// SimulateLVC replays the program's local accesses through a stand-alone
+// LVC of the given geometry (Figure 6: miss rate vs size). Every local
+// reference probes the cache in execution order; non-local references
+// bypass it. maxInsts bounds the run (0 = unbounded).
+func SimulateLVC(prog *asm.Program, sizeBytes, lineBytes, assoc int, maxInsts uint64) (LVCResult, error) {
+	mem := &cache.MainMemory{Name: "mem", Latency: 50}
+	lvc := cache.New(cache.Config{
+		Name: "LVC", SizeBytes: sizeBytes, LineBytes: lineBytes,
+		Assoc: assoc, HitLatency: 1, MSHRs: 1 << 20,
+	}, mem)
+	m := emu.New(prog)
+	var res LVCResult
+	now := uint64(0)
+	for !m.Halted {
+		if maxInsts > 0 && m.InstCount >= maxInsts {
+			break
+		}
+		ef, err := m.Step()
+		if err != nil {
+			return res, err
+		}
+		if !ef.Inst.IsMem() || !isa.InStackRegion(ef.Addr) {
+			continue
+		}
+		res.LocalRefs++
+		now += 100 // far apart: every access sees completed fills
+		lvc.Access(now, ef.Addr, ef.Inst.IsStore())
+	}
+	res.Stats = lvc.Stats
+	return res, nil
+}

@@ -1,0 +1,171 @@
+package profile
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+)
+
+func compile(t *testing.T, src string) *asm.Program {
+	t.Helper()
+	p, err := asm.Assemble("p.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const profProgram = `
+        .text
+main:
+        la   $s0, g
+        lw   $t0, 0($s0) !nonlocal
+        jal  f
+        jal  f
+        out  $v0
+        halt
+f:
+        addi $sp, $sp, -8
+        sw   $ra, 4($sp) !local
+        sw   $s0, 0($sp) !local
+        lw   $s0, 0($sp) !local
+        lw   $ra, 4($sp) !local
+        addi $sp, $sp, 8
+        jr   $ra
+        .data
+g:      .word 5
+`
+
+func TestProfileCounts(t *testing.T) {
+	p, err := Run(compile(t, profProgram), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Loads != 5 { // 1 global + 2 calls x 2 local loads
+		t.Errorf("loads = %d, want 5", p.Loads)
+	}
+	if p.Stores != 4 {
+		t.Errorf("stores = %d, want 4", p.Stores)
+	}
+	if p.LocalLoads != 4 || p.LocalStores != 4 {
+		t.Errorf("local = %d/%d, want 4/4", p.LocalLoads, p.LocalStores)
+	}
+	if p.Calls != 2 || p.Returns != 2 || p.MaxCallDepth != 1 {
+		t.Errorf("calls=%d returns=%d depth=%d", p.Calls, p.Returns, p.MaxCallDepth)
+	}
+	if p.SPIndexedLocal != 8 {
+		t.Errorf("sp-indexed = %d, want 8", p.SPIndexedLocal)
+	}
+}
+
+func TestProfileFrames(t *testing.T) {
+	p, err := Run(compile(t, profProgram), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two dynamic allocations of the same 2-word frame.
+	if p.DynFrames.Total() != 2 {
+		t.Errorf("dyn frames = %d", p.DynFrames.Total())
+	}
+	if p.DynFrames.Mean() != 2 {
+		t.Errorf("dyn mean = %f words", p.DynFrames.Mean())
+	}
+	sf := p.StaticFrames()
+	if sf.Total() != 1 || sf.Max() != 2 {
+		t.Errorf("static frames total=%d max=%d", sf.Total(), sf.Max())
+	}
+}
+
+func TestProfileFractions(t *testing.T) {
+	p, err := Run(compile(t, profProgram), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.LocalFraction(); got != 8.0/9.0 {
+		t.Errorf("local fraction = %f", got)
+	}
+	if p.LoadFreq() <= 0 || p.StoreFreq() <= 0 {
+		t.Error("zero frequencies")
+	}
+}
+
+func TestProfileHintTracking(t *testing.T) {
+	p, err := Run(compile(t, `
+        .text
+main:
+        la $s0, g
+        lw $t0, 0($s0)
+        lw $t1, 0($s0) !nonlocal
+        halt
+        .data
+g:      .word 1
+`), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.HintedMemPCs != 1 || p.UnhintedMemPCs != 1 {
+		t.Errorf("hinted=%d unhinted=%d", p.HintedMemPCs, p.UnhintedMemPCs)
+	}
+}
+
+func TestProfileBudget(t *testing.T) {
+	p, err := Run(compile(t, "\t.text\nmain:\n\tb main\n"), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts != 500 {
+		t.Errorf("insts = %d", p.Insts)
+	}
+}
+
+func TestSimulateLVCBasic(t *testing.T) {
+	res, err := SimulateLVC(compile(t, profProgram), 2048, 32, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LocalRefs != 8 {
+		t.Errorf("local refs = %d, want 8", res.LocalRefs)
+	}
+	// One cold miss (all accesses share one line), everything else hits.
+	if res.Stats.Misses() != 1 {
+		t.Errorf("misses = %d, want 1", res.Stats.Misses())
+	}
+}
+
+func TestSimulateLVCSizeMonotone(t *testing.T) {
+	// A deep-recursion program: bigger LVCs never miss more.
+	src := `
+        .text
+main:
+        li   $a0, 200
+        jal  rec
+        out  $v0
+        halt
+rec:
+        addi $sp, $sp, -16
+        sw   $ra, 12($sp) !local
+        sw   $a0, 0($sp) !local
+        li   $v0, 0
+        blez $a0, done
+        addi $a0, $a0, -1
+        jal  rec
+        lw   $t0, 0($sp) !local
+        add  $v0, $v0, $t0
+done:
+        lw   $ra, 12($sp) !local
+        addi $sp, $sp, 16
+        jr   $ra
+`
+	prog := compile(t, src)
+	var prev uint64 = 1 << 62
+	for _, size := range []int{512, 1024, 2048, 4096} {
+		res, err := SimulateLVC(prog, size, 32, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Misses() > prev {
+			t.Errorf("%dB LVC misses %d > smaller size %d", size, res.Stats.Misses(), prev)
+		}
+		prev = res.Stats.Misses()
+	}
+}

@@ -1,0 +1,215 @@
+// Package stats provides the statistics primitives shared by the simulator
+// and the experiment harness: weighted histograms with percentile
+// extraction, ratio helpers and fixed-width text tables that mirror the
+// paper's figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a weighted histogram over integer values (e.g. frame sizes
+// in words, queue occupancies).
+type Histogram struct {
+	counts map[int]uint64
+	total  uint64
+	sum    float64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]uint64)}
+}
+
+// Add records value with the given weight.
+func (h *Histogram) Add(value int, weight uint64) {
+	h.counts[value] += weight
+	h.total += weight
+	h.sum += float64(value) * float64(weight)
+}
+
+// Total returns the total recorded weight.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Mean returns the weighted mean (0 if empty).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Max returns the largest recorded value (0 if empty).
+func (h *Histogram) Max() int {
+	max := 0
+	for v := range h.counts {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Percentile returns the smallest value v such that at least p (0..1) of
+// the weight is <= v.
+func (h *Histogram) Percentile(p float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	values := h.sortedValues()
+	threshold := p * float64(h.total)
+	var cum float64
+	for _, v := range values {
+		cum += float64(h.counts[v])
+		if cum >= threshold {
+			return v
+		}
+	}
+	return values[len(values)-1]
+}
+
+// CumulativeAt returns the fraction of weight at values <= v.
+func (h *Histogram) CumulativeAt(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var cum uint64
+	for value, c := range h.counts {
+		if value <= v {
+			cum += c
+		}
+	}
+	return float64(cum) / float64(h.total)
+}
+
+// Count returns the weight recorded at exactly v.
+func (h *Histogram) Count(v int) uint64 { return h.counts[v] }
+
+func (h *Histogram) sortedValues() []int {
+	values := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		values = append(values, v)
+	}
+	sort.Ints(values)
+	return values
+}
+
+// Buckets returns (value, weight) pairs in increasing value order.
+func (h *Histogram) Buckets() (values []int, weights []uint64) {
+	values = h.sortedValues()
+	weights = make([]uint64, len(values))
+	for i, v := range values {
+		weights[i] = h.counts[v]
+	}
+	return values, weights
+}
+
+// Ratio returns a/b as a float (0 when b is 0).
+func Ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Pct returns a/b as a percentage (0 when b is 0).
+func Pct(a, b uint64) float64 { return 100 * Ratio(a, b) }
+
+// Speedup returns the relative performance of cycles vs baseCycles:
+// baseCycles/cycles (1.0 = equal, >1 = faster than base).
+func Speedup(baseCycles, cycles uint64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(baseCycles) / float64(cycles)
+}
+
+// GeoMean returns the geometric mean of xs (0 if empty or any x <= 0).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	logSum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// Table renders fixed-width text tables for the experiment reports.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v, and float64 cells
+// with %.3f.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Render returns the formatted table.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Total() != 0 || h.Max() != 0 || h.Percentile(0.5) != 0 {
+		t.Error("empty histogram not all-zero")
+	}
+	h.Add(3, 2)
+	h.Add(7, 2)
+	if h.Total() != 4 {
+		t.Errorf("total = %d", h.Total())
+	}
+	if h.Mean() != 5 {
+		t.Errorf("mean = %f", h.Mean())
+	}
+	if h.Max() != 7 {
+		t.Errorf("max = %d", h.Max())
+	}
+	if h.Count(3) != 2 || h.Count(5) != 0 {
+		t.Error("counts wrong")
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewHistogram()
+	for v := 1; v <= 100; v++ {
+		h.Add(v, 1)
+	}
+	if p := h.Percentile(0.5); p != 50 {
+		t.Errorf("p50 = %d", p)
+	}
+	if p := h.Percentile(0.99); p != 99 {
+		t.Errorf("p99 = %d", p)
+	}
+	if p := h.Percentile(1.0); p != 100 {
+		t.Errorf("p100 = %d", p)
+	}
+}
+
+func TestHistogramCumulative(t *testing.T) {
+	h := NewHistogram()
+	h.Add(1, 3)
+	h.Add(10, 1)
+	if c := h.CumulativeAt(1); c != 0.75 {
+		t.Errorf("cum(1) = %f", c)
+	}
+	if c := h.CumulativeAt(10); c != 1 {
+		t.Errorf("cum(10) = %f", c)
+	}
+	if c := h.CumulativeAt(0); c != 0 {
+		t.Errorf("cum(0) = %f", c)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram()
+	h.Add(5, 1)
+	h.Add(2, 4)
+	vals, weights := h.Buckets()
+	if len(vals) != 2 || vals[0] != 2 || vals[1] != 5 || weights[0] != 4 || weights[1] != 1 {
+		t.Errorf("buckets = %v %v", vals, weights)
+	}
+}
+
+func TestHistogramMeanMatchesDefinitionProperty(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		h := NewHistogram()
+		var sum, n float64
+		for _, v := range raw {
+			h.Add(int(v), 1)
+			sum += float64(v)
+			n++
+		}
+		if n == 0 {
+			return h.Mean() == 0
+		}
+		return math.Abs(h.Mean()-sum/n) < 1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatioAndPct(t *testing.T) {
+	if Ratio(1, 2) != 0.5 || Ratio(1, 0) != 0 {
+		t.Error("Ratio wrong")
+	}
+	if Pct(1, 4) != 25 {
+		t.Error("Pct wrong")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if Speedup(100, 50) != 2 {
+		t.Error("Speedup wrong")
+	}
+	if Speedup(100, 0) != 0 {
+		t.Error("Speedup div0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("geomean(2,8) = %f", g)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("empty geomean")
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Error("negative geomean")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Title", "name", "value")
+	tb.AddRow("alpha", 1)
+	tb.AddRow("bee", 2.5)
+	out := tb.Render()
+	for _, want := range []string{"Title", "name", "value", "alpha", "2.500", "----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+	// Columns align: every line has the same position for column 2.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("line count = %d", len(lines))
+	}
+}

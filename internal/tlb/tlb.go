@@ -1,0 +1,86 @@
+// Package tlb models the run-time verification mechanism the paper
+// sketches in §2.1: each TLB entry carries an access-region annotation bit
+// (stack vs non-stack), maintained by the run-time system when pages are
+// allocated. The verification logic attached to each memory pipeline uses
+// the bit to check that an instruction was steered into the correct memory
+// access queue; a TLB miss delays the verification (and hence the access)
+// by the fill latency.
+//
+// Since the simulator's address space maps regions by address range, the
+// "page table walk" that refills an entry derives the annotation from the
+// address itself — exactly what a run-time system that annotates pages at
+// allocation would produce.
+package tlb
+
+import "repro/internal/isa"
+
+// PageBits is the annotation granularity (4 KB pages).
+const PageBits = 12
+
+// TLB is a fully-associative, true-LRU annotation TLB.
+type TLB struct {
+	entries     []entry
+	capacity    int
+	missLatency uint64
+	tick        uint64
+
+	Hits   uint64
+	Misses uint64
+}
+
+type entry struct {
+	page    uint32
+	local   bool
+	lruTick uint64
+}
+
+// New returns a TLB with the given number of entries and miss (fill)
+// latency in cycles.
+func New(entries int, missLatency uint64) *TLB {
+	if entries < 1 {
+		entries = 1
+	}
+	return &TLB{
+		entries:     make([]entry, 0, entries),
+		capacity:    entries,
+		missLatency: missLatency,
+	}
+}
+
+// Lookup returns the region annotation for addr and the cycle at which it
+// is available (now on a hit, now+missLatency on a miss).
+func (t *TLB) Lookup(now uint64, addr uint32) (local bool, ready uint64) {
+	page := addr >> PageBits
+	t.tick++
+	for i := range t.entries {
+		if t.entries[i].page == page {
+			t.entries[i].lruTick = t.tick
+			t.Hits++
+			return t.entries[i].local, now
+		}
+	}
+	t.Misses++
+	local = isa.InStackRegion(addr)
+	e := entry{page: page, local: local, lruTick: t.tick}
+	if len(t.entries) < t.capacity {
+		t.entries = append(t.entries, e)
+	} else {
+		victim := 0
+		for i := 1; i < len(t.entries); i++ {
+			if t.entries[i].lruTick < t.entries[victim].lruTick {
+				victim = i
+			}
+		}
+		t.entries[victim] = e
+	}
+	return local, now + t.missLatency
+}
+
+// HitRate returns hits / lookups (0 when idle).
+func (t *TLB) HitRate() float64 {
+	total := t.Hits + t.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(t.Hits) / float64(total)
+}

@@ -1,0 +1,80 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func TestMissThenHit(t *testing.T) {
+	tl := New(4, 20)
+	local, ready := tl.Lookup(100, isa.StackBase-64)
+	if !local {
+		t.Error("stack address not local")
+	}
+	if ready != 120 {
+		t.Errorf("miss ready = %d, want 120", ready)
+	}
+	local, ready = tl.Lookup(130, isa.StackBase-100) // same page
+	if !local || ready != 130 {
+		t.Errorf("hit = %v,%d", local, ready)
+	}
+	if tl.Hits != 1 || tl.Misses != 1 {
+		t.Errorf("counters = %d/%d", tl.Hits, tl.Misses)
+	}
+}
+
+func TestAnnotationMatchesRegion(t *testing.T) {
+	tl := New(64, 20)
+	prop := func(addr uint32) bool {
+		local, _ := tl.Lookup(0, addr)
+		return local == isa.InStackRegion(addr)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	tl := New(2, 10)
+	a := uint32(0x1000_0000)
+	b := uint32(0x2000_0000)
+	c := uint32(0x3000_0000)
+	tl.Lookup(0, a)
+	tl.Lookup(1, b)
+	tl.Lookup(2, a) // touch a; b is now LRU
+	tl.Lookup(3, c) // evicts b
+	misses := tl.Misses
+	tl.Lookup(4, a)
+	if tl.Misses != misses {
+		t.Error("a evicted though recently used")
+	}
+	tl.Lookup(5, b)
+	if tl.Misses != misses+1 {
+		t.Error("b not evicted")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	tl := New(4, 10)
+	if tl.HitRate() != 0 {
+		t.Error("idle hit rate")
+	}
+	tl.Lookup(0, 0x1000)
+	tl.Lookup(1, 0x1000)
+	tl.Lookup(2, 0x1000)
+	if got := tl.HitRate(); got < 0.66 || got > 0.67 {
+		t.Errorf("hit rate = %f", got)
+	}
+}
+
+func TestMinimumCapacity(t *testing.T) {
+	tl := New(0, 5)
+	tl.Lookup(0, 0x1000)
+	tl.Lookup(1, 0x2000)
+	tl.Lookup(2, 0x1000)
+	if tl.Misses != 3 {
+		t.Errorf("1-entry TLB misses = %d, want 3", tl.Misses)
+	}
+}

@@ -1,0 +1,183 @@
+// Package trace records and renders per-instruction pipeline timelines
+// from the timing core — the equivalent of SimpleScalar's pipetrace. It is
+// the tool used to see *why* a configuration is slow: where loads wait for
+// ports, how far stores are from their forwarding consumers, and what a
+// misroute recovery costs.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Recorder collects trace events up to a limit (0 = unlimited). It
+// implements core.Tracer.
+type Recorder struct {
+	// Limit bounds the number of retained events; once reached, further
+	// events are counted but not stored.
+	Limit   int
+	Events  []core.TraceEvent
+	Dropped uint64
+}
+
+// NewRecorder returns a Recorder keeping at most limit events.
+func NewRecorder(limit int) *Recorder {
+	return &Recorder{Limit: limit}
+}
+
+// Trace implements core.Tracer.
+func (r *Recorder) Trace(ev core.TraceEvent) {
+	if r.Limit > 0 && len(r.Events) >= r.Limit {
+		r.Dropped++
+		return
+	}
+	r.Events = append(r.Events, ev)
+}
+
+// Stage letters used in the rendered timeline.
+const (
+	markDispatch = 'D'
+	markIssue    = 'I'
+	markAddr     = 'A'
+	markReady    = 'R'
+	markCommit   = 'C'
+	markBusy     = '.'
+)
+
+// Render draws a classic pipetrace: one row per instruction, one column
+// per cycle, with stage letters at the cycles where the instruction
+// dispatched (D), issued (I), finished address generation (A), produced
+// its result (R) and committed (C).
+func Render(events []core.TraceEvent) string {
+	if len(events) == 0 {
+		return "(no trace events)\n"
+	}
+	minCycle, maxCycle := events[0].DispatchedAt, uint64(0)
+	for _, ev := range events {
+		if ev.DispatchedAt < minCycle {
+			minCycle = ev.DispatchedAt
+		}
+		last := ev.CommittedAt
+		if last == 0 {
+			last = ev.ReadyAt
+		}
+		if last > maxCycle {
+			maxCycle = last
+		}
+	}
+	width := int(maxCycle-minCycle) + 1
+	if width > 200 {
+		width = 200 // keep lines terminal-sized; later cycles clip
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles %d..%d, one column per cycle\n", minCycle, maxCycle)
+	for _, ev := range events {
+		lane := make([]byte, width)
+		for i := range lane {
+			lane[i] = ' '
+		}
+		place := func(cycle uint64, mark byte) {
+			if cycle < minCycle {
+				return
+			}
+			if idx := int(cycle - minCycle); idx < width {
+				lane[idx] = mark
+			}
+		}
+		// Fill the dispatch→commit span with dots first, then stamps.
+		if ev.CommittedAt >= ev.DispatchedAt && ev.CommittedAt > 0 {
+			for cyc := ev.DispatchedAt; cyc <= ev.CommittedAt; cyc++ {
+				place(cyc, markBusy)
+			}
+		}
+		place(ev.DispatchedAt, markDispatch)
+		if ev.IssuedAt > 0 {
+			place(ev.IssuedAt, markIssue)
+		}
+		if ev.AddrAt > 0 {
+			place(ev.AddrAt, markAddr)
+		}
+		if ev.ReadyAt > 0 {
+			place(ev.ReadyAt, markReady)
+		}
+		if ev.CommittedAt > 0 {
+			place(ev.CommittedAt, markCommit)
+		}
+
+		tag := " "
+		switch {
+		case ev.Squashed:
+			tag = "x"
+		case ev.FastForwarded:
+			tag = "f"
+		case ev.Forwarded:
+			tag = "w"
+		case ev.Combined:
+			tag = "+"
+		}
+		queue := ev.Queue
+		if queue == "" {
+			queue = "-"
+		}
+		fmt.Fprintf(&b, "%6d %-4s %s %-28s |%s|\n", ev.Seq, queue, tag,
+			clip(ev.Inst.String(), 28), string(lane))
+	}
+	b.WriteString("D dispatch, I issue, A agen, R result, C commit; " +
+		"w forwarded, f fast-forwarded, + combined, x squashed\n")
+	return b.String()
+}
+
+// Summary aggregates a trace into per-stage latency statistics.
+func Summary(events []core.TraceEvent) string {
+	if len(events) == 0 {
+		return "(no trace events)\n"
+	}
+	var n, dispatchToIssue, issueToReady, readyToCommit uint64
+	var forwards, fastForwards, combined, squashed uint64
+	for _, ev := range events {
+		if ev.Squashed {
+			squashed++
+			continue
+		}
+		if ev.CommittedAt == 0 || ev.IssuedAt < ev.DispatchedAt {
+			continue
+		}
+		n++
+		dispatchToIssue += ev.IssuedAt - ev.DispatchedAt
+		if ev.ReadyAt >= ev.IssuedAt {
+			issueToReady += ev.ReadyAt - ev.IssuedAt
+		}
+		if ev.CommittedAt >= ev.ReadyAt {
+			readyToCommit += ev.CommittedAt - ev.ReadyAt
+		}
+		if ev.Forwarded {
+			forwards++
+		}
+		if ev.FastForwarded {
+			fastForwards++
+		}
+		if ev.Combined {
+			combined++
+		}
+	}
+	if n == 0 {
+		return "(no committed events)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "instructions      %d (+%d squashed)\n", n, squashed)
+	fmt.Fprintf(&b, "dispatch→issue    %.2f cycles avg\n", float64(dispatchToIssue)/float64(n))
+	fmt.Fprintf(&b, "issue→result      %.2f cycles avg\n", float64(issueToReady)/float64(n))
+	fmt.Fprintf(&b, "result→commit     %.2f cycles avg\n", float64(readyToCommit)/float64(n))
+	fmt.Fprintf(&b, "forwarded         %d (fast %d), combined %d\n", forwards, fastForwards, combined)
+	return b.String()
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/config"
+	"repro/internal/core"
+)
+
+func traceProgram(t *testing.T, src string, cfg config.Config, limit int) *Recorder {
+	t.Helper()
+	prog, err := asm.Assemble("t.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.New(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(limit)
+	c.SetTracer(rec)
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+const tinyProgram = `
+        .text
+main:
+        addi $sp, $sp, -8
+        li   $t0, 5
+        sw   $t0, 0($sp) !local
+        lw   $t1, 0($sp) !local
+        add  $t2, $t1, $t0
+        addi $sp, $sp, 8
+        out  $t2
+        halt
+`
+
+func TestRecorderCapturesEveryInstruction(t *testing.T) {
+	rec := traceProgram(t, tinyProgram, config.Default().WithPorts(2, 2), 0)
+	if len(rec.Events) != 8 {
+		t.Fatalf("captured %d events, want 8", len(rec.Events))
+	}
+	// Events arrive in commit order with monotone commit stamps.
+	for i := 1; i < len(rec.Events); i++ {
+		if rec.Events[i].CommittedAt < rec.Events[i-1].CommittedAt {
+			t.Errorf("commit stamps not monotone at %d", i)
+		}
+	}
+	// Pipeline ordering invariants per event.
+	for _, ev := range rec.Events {
+		if ev.IssuedAt <= ev.DispatchedAt {
+			t.Errorf("seq %d issued (%d) not after dispatch (%d)", ev.Seq, ev.IssuedAt, ev.DispatchedAt)
+		}
+		if ev.CommittedAt < ev.ReadyAt {
+			t.Errorf("seq %d committed before ready", ev.Seq)
+		}
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	rec := traceProgram(t, tinyProgram, config.Default(), 3)
+	if len(rec.Events) != 3 {
+		t.Errorf("kept %d events with limit 3", len(rec.Events))
+	}
+	if rec.Dropped != 5 {
+		t.Errorf("dropped %d, want 5", rec.Dropped)
+	}
+}
+
+func TestTraceMarksQueuesAndForwarding(t *testing.T) {
+	rec := traceProgram(t, tinyProgram, config.Default().WithPorts(2, 2), 0)
+	var sawLVAQ, sawForward bool
+	for _, ev := range rec.Events {
+		if ev.Queue == "LVAQ" {
+			sawLVAQ = true
+		}
+		if ev.Inst.IsLoad() && (ev.Forwarded || ev.FastForwarded) {
+			sawForward = true
+		}
+	}
+	if !sawLVAQ {
+		t.Error("no LVAQ events in a decoupled run")
+	}
+	if !sawForward {
+		t.Error("the store→load pair did not forward")
+	}
+}
+
+func TestTraceMarksSquashes(t *testing.T) {
+	src := `
+        .text
+main:
+        la  $s0, g
+        li  $t0, 1
+        sw  $t0, 0($s0) !local
+        lw  $t1, 0($s0) !local
+        out $t1
+        halt
+        .data
+g:      .word 0
+`
+	rec := traceProgram(t, src, config.Default().WithPorts(2, 2), 0)
+	var squashes int
+	for _, ev := range rec.Events {
+		if ev.Squashed {
+			squashes++
+		}
+	}
+	if squashes == 0 {
+		t.Error("misroute recovery produced no squashed events")
+	}
+}
+
+func TestRenderContainsStages(t *testing.T) {
+	rec := traceProgram(t, tinyProgram, config.Default().WithPorts(2, 2), 0)
+	out := Render(rec.Events)
+	for _, want := range []string{"D", "C", "lw $t1", "LVAQ", "cycles"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if Render(nil) == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	rec := traceProgram(t, tinyProgram, config.Default().WithPorts(2, 2), 0)
+	out := Summary(rec.Events)
+	for _, want := range []string{"instructions", "dispatch→issue", "forwarded"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(Summary(nil), "no trace events") {
+		t.Error("empty summary")
+	}
+}

@@ -1,0 +1,118 @@
+package workload
+
+func init() {
+	register(Workload{
+		Name:       "compress",
+		PaperName:  "129.compress",
+		Kind:       Integer,
+		PaperInsts: "293M",
+		Description: "LZW-style hash-probe compression loop over a " +
+			"pseudo-random input buffer. Calibrated for the lowest local " +
+			"share in the suite (~10% of memory references): almost all " +
+			"traffic is data-dependent global loads/stores into a 128 KB " +
+			"hash table, with only an occasional small-frame flush call.",
+		build: buildCompress,
+	})
+}
+
+func buildCompress(scale float64, seed uint64) string {
+	g := newGen()
+	iters := scaled(28000, scale)
+	// The input buffer scales with the run so that the fill loop never
+	// dominates the instruction mix at small scales.
+	bufWords := 1024
+	for bufWords < int(16384*scale) && bufWords < 16384 {
+		bufWords *= 2
+	}
+	bufBytes := bufWords * 4
+
+	// Data: input buffer, 32K-entry (128 KB) hash table, both
+	// zero-initialized and filled at run time.
+	g.D("inbuf:  .space 65536")
+	g.D("htab:   .space 131072")
+
+	g.L("main")
+	// Fill the input buffer with an LCG so byte values are varied.
+	g.T("la   $s0, inbuf")
+	g.T("li   $s1, %d", bufWords)
+	g.T("li   $s2, %d", 12345+int32(seed%97)*1000003) // LCG state (input data)
+	g.T("li   $s3, 1103515245")
+	fill := g.label("fill")
+	g.T("move $t0, $s0")
+	g.L(fill)
+	g.T("mul  $s2, $s2, $s3")
+	g.T("addi $s2, $s2, 12345")
+	g.T("sw   $s2, 0($t0) !nonlocal")
+	g.T("addi $t0, $t0, 4")
+	g.T("addi $s1, $s1, -1")
+	g.T("bnez $s1, %s", fill)
+
+	// Compression loop. s4 = hash state/checksum, s5 = iteration counter,
+	// s6 = position scrambler, s7 = hash table base.
+	g.T("li   $s4, 5381")
+	g.T("la   $s7, htab")
+	g.T("li   $s5, %d", iters)
+	g.T("li   $s6, 0")
+	top := g.label("comp")
+	g.L(top)
+	// pos = (s6 * 131 + 7) mod 65536; c = inbuf[pos]
+	g.T("li   $t0, 131")
+	g.T("mul  $t1, $s6, $t0")
+	g.T("addi $t1, $t1, 7")
+	g.T("andi $t1, $t1, %d", bufBytes-1)
+	g.T("add  $t2, $s0, $t1")
+	g.T("lbu  $t3, 0($t2) !nonlocal")
+	g.T("lbu  $t8, 2($t2) !nonlocal") // lookahead byte
+	// h = ((h << 5) + h + c) & 32767
+	g.T("slli $t4, $s4, 5")
+	g.T("add  $t4, $t4, $s4")
+	g.T("add  $t4, $t4, $t3")
+	g.T("andi $s4, $t4, 32767")
+	// probe htab[h], then the collision slot
+	g.T("slli $t5, $s4, 2")
+	g.T("add  $t5, $s7, $t5")
+	g.T("lw   $t6, 0($t5) !nonlocal")
+	hit := g.label("hit")
+	g.T("beq  $t6, $t3, %s", hit)
+	g.T("lw   $t9, 4($t5) !nonlocal")
+	g.T("add  $t3, $t3, $t8")
+	g.T("add  $t3, $t3, $t9")
+	g.T("sw   $t3, 0($t5) !nonlocal")
+	g.L(hit)
+	// Every 256 iterations flush a table stripe through a real call.
+	skip := g.label("skip")
+	g.T("andi $t7, $s5, 255")
+	g.T("bnez $t7, %s", skip)
+	g.T("move $a0, $s4")
+	g.T("jal  flush")
+	g.T("xor  $s4, $s4, $v0")
+	g.L(skip)
+	g.T("addi $s6, $s6, 1")
+	g.T("addi $s5, $s5, -1")
+	g.T("bnez $s5, %s", top)
+
+	g.T("out  $s4")
+	g.T("halt")
+
+	// flush: scan 64 hash entries starting at (a0 & 16383), return their
+	// xor. Small frame: 3 words (dynamic frames must stay small on
+	// average, Figure 3).
+	g.fnBegin("flush", 3, "ra", "s0")
+	g.T("la   $t0, htab")
+	g.T("andi $t1, $a0, 16383")
+	g.T("slli $t1, $t1, 2")
+	g.T("add  $t0, $t0, $t1")
+	g.T("li   $s0, 0")
+	g.T("li   $t2, 64")
+	floop := g.label("floop")
+	g.L(floop)
+	g.T("lw   $t3, 0($t0) !nonlocal")
+	g.T("xor  $s0, $s0, $t3")
+	g.T("addi $t0, $t0, 4")
+	g.T("addi $t2, $t2, -1")
+	g.T("bnez $t2, %s", floop)
+	g.T("move $v0, $s0")
+	g.fnEnd(3, "ra", "s0")
+
+	return g.source()
+}

@@ -1,0 +1,198 @@
+package workload
+
+import "fmt"
+
+func init() {
+	register(Workload{
+		Name:       "gcc",
+		PaperName:  "126.gcc",
+		Kind:       Integer,
+		PaperInsts: "220M",
+		Description: "Compiler stand-in: a driver iterates over " +
+			"\"statements\", each descending a many-function call chain " +
+			"(parse → analyze → transform passes) over heap tree nodes. " +
+			"Forty generated functions with the suite's widest frame-size " +
+			"spread (2..282 words) and the deepest active stack footprint " +
+			"— calibrated so gcc has the highest LVC miss rate in the " +
+			"suite (Figure 6) and is the one program whose L2 traffic " +
+			"grows slightly when the LVC is added (§4.2.1).",
+		build: buildGCC,
+	})
+}
+
+func buildGCC(scale float64, seed uint64) string {
+	g := newGen()
+	rng := newPrng(126)
+	statements := scaled(200, scale)
+	const nodes = 8192 // 4-word tree nodes = 128 KB
+	const nFuncs = 40
+
+	g.D("tree:   .space %d", nodes*16)
+
+	// Frame-size distribution: mostly small, a long tail, one 282-word
+	// outlier (the paper's largest observed frame).
+	frames := make([]int, nFuncs)
+	for i := range frames {
+		switch r := rng.intn(10); {
+		case r < 6:
+			frames[i] = rng.rangeInt(5, 12)
+		case r < 9:
+			frames[i] = rng.rangeInt(12, 40)
+		default:
+			frames[i] = rng.rangeInt(48, 96)
+		}
+	}
+	frames[nFuncs-3] = 282
+
+	g.L("main")
+	// Seed the tree: node i holds (value, left=i*2 idx, right=i*2+1 idx,
+	// flags).
+	g.T("la   $s0, tree")
+	g.T("move $t0, $s0")
+	g.T("li   $t1, %d", nodes)
+	g.T("li   $t2, %d", 3+int32(seed%31)) // tree value seed (input data)
+	tl := g.label("tinit")
+	g.L(tl)
+	g.T("sw   $t2, 0($t0) !nonlocal")
+	g.T("sw   $t2, 12($t0) !nonlocal")
+	g.T("addi $t0, $t0, 16")
+	g.T("addi $t2, $t2, 29")
+	g.T("addi $t1, $t1, -1")
+	g.T("bnez $t1, %s", tl)
+
+	g.T("li   $s7, 0")
+	g.loop("s1", statements, func() {
+		g.T("move $a0, $s1")
+		g.T("jal  fn0")
+		g.T("add  $s7, $s7, $v0")
+		g.T("move $a0, $s7")
+		g.T("li   $a1, 9") // parse-tree recursion depth
+		g.T("jal  walk")
+		g.T("xor  $s7, $s7, $v0")
+	})
+	g.T("out  $s7")
+	g.T("halt")
+
+	// Generated pass functions: fn_i does local work, touches tree
+	// nodes, and calls 1-2 later functions. The call graph is a DAG
+	// (callee index strictly greater), and the total dynamic call count
+	// from fn0 is bounded at generation time so the DAG cannot explode.
+	callees := make([][]int, nFuncs)
+	for i := 0; i < nFuncs-2; i++ {
+		// Short forward jumps make the chains deep (~15-20 frames), so
+		// the live stack extent regularly exceeds the 2 KB LVC and the
+		// direct-mapped cache wraps — the source of gcc's
+		// worst-in-suite LVC miss rate (Figure 6).
+		jump := func() int {
+			span := nFuncs - 1 - i
+			if span > 3 {
+				span = 3
+			}
+			return i + 1 + rng.intn(span)
+		}
+		callees[i] = append(callees[i], jump())
+		if rng.intn(10) < 3 {
+			callees[i] = append(callees[i], jump())
+		}
+	}
+	// The 282-word giant sits near the bottom of the chain, pushing the
+	// deepest frames past the LVC's reach.
+	callees[nFuncs-6] = []int{nFuncs - 3}
+	callees[nFuncs-3] = []int{nFuncs - 2}
+	callCount := func() []int {
+		cnt := make([]int, nFuncs)
+		for i := nFuncs - 1; i >= 0; i-- {
+			cnt[i] = 1
+			for _, j := range callees[i] {
+				cnt[i] += cnt[j]
+			}
+		}
+		return cnt
+	}
+	// Trim second callees until one statement costs at most ~300 calls.
+	for callCount()[0] > 300 {
+		trimmed := false
+		for i := 0; i < nFuncs && !trimmed; i++ {
+			if len(callees[i]) > 1 {
+				callees[i] = callees[i][:1]
+				trimmed = true
+			}
+		}
+		if !trimmed {
+			break
+		}
+	}
+
+	for i := 0; i < nFuncs; i++ {
+		name := fmt.Sprintf("fn%d", i)
+		fw := frames[i]
+		g.fnBegin(name, fw, "ra", "s2", "s3")
+		g.T("move $s2, $a0")
+		// Touch a few local slots (declarations/spills).
+		touches := rng.rangeInt(2, 5)
+		for t := 0; t < touches; t++ {
+			slot := 4 * rng.intn(fw-4)
+			g.T("sw   $s2, %d($sp) !local", slot)
+			g.T("lw   $t0, %d($sp) !local", slot)
+			g.T("add  $s2, $s2, $t0")
+		}
+		// The giant frame sweeps a stripe of its 282 words — wide local
+		// footprint that displaces the LVC.
+		if fw == 282 {
+			for s := 0; s < fw-8; s += 8 {
+				g.T("sw   $s2, %d($sp) !local", 4*s)
+			}
+			for s := 0; s < fw-8; s += 8 {
+				g.T("lw   $t0, %d($sp) !local", 4*s)
+				g.T("add  $s2, $s2, $t0")
+			}
+		}
+		// Tree accesses: read the node, follow a child link, update both
+		// (a compiler pass reads and rewrites the IR).
+		g.T("andi $t1, $s2, %d", nodes-1)
+		g.T("slli $t1, $t1, 4")
+		g.T("add  $t1, $s0, $t1")
+		g.T("lw   $t2, 0($t1) !nonlocal")
+		g.T("lw   $t3, 4($t1) !nonlocal")
+		g.T("andi $t3, $t3, %d", nodes-1)
+		g.T("slli $t3, $t3, 4")
+		g.T("add  $t3, $s0, $t3")
+		g.T("lw   $t4, 0($t3) !nonlocal")
+		g.T("add  $s3, $s2, $t2")
+		g.T("add  $s3, $s3, $t4")
+		g.T("sw   $s3, 12($t1) !nonlocal")
+		g.T("sw   $t2, 8($t3) !nonlocal")
+		for cidx, callee := range callees[i] {
+			g.T("addi $a0, $s3, %d", cidx)
+			g.T("jal  fn%d", callee)
+			g.T("add  $s3, $s3, $v0")
+		}
+		g.T("move $v0, $s3")
+		g.fnEnd(fw, "ra", "s2", "s3")
+	}
+
+	// walk(seed, depth): binary parse-tree recursion; small frame.
+	g.fnBegin("walk", 4, "ra", "s4")
+	wdone := g.label("wdone")
+	g.T("blez $a1, %s", wdone)
+	g.T("move $s4, $a1")
+	g.T("andi $t0, $a0, %d", nodes-1)
+	g.T("slli $t0, $t0, 4")
+	g.T("add  $t0, $s0, $t0")
+	g.T("lw   $t1, 0($t0) !nonlocal")
+	g.T("sw   $a0, 0($sp) !local")
+	g.T("add  $a0, $a0, $t1")
+	g.T("addi $a1, $s4, -1")
+	g.T("jal  walk")
+	g.T("lw   $t2, 0($sp) !local")
+	g.T("xor  $a0, $t2, $v0")
+	g.T("addi $a1, $s4, -2")
+	g.T("jal  walk")
+	g.T("addi $v0, $v0, 1")
+	g.fnEnd(4, "ra", "s4")
+	g.L(wdone)
+	g.T("li   $v0, 1")
+	g.fnEnd(4, "ra", "s4")
+
+	return g.source()
+}

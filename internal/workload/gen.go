@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// prng is a tiny deterministic xorshift64 generator used to give the
+// synthetic programs varied-but-reproducible structure (frame sizes, call
+// graphs, data). It is seeded per program, never from the environment.
+type prng uint64
+
+func newPrng(seed uint64) *prng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	p := prng(seed)
+	return &p
+}
+
+func (p *prng) next() uint64 {
+	x := uint64(*p)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*p = prng(x)
+	return x
+}
+
+// intn returns a value in [0, n).
+func (p *prng) intn(n int) int {
+	return int(p.next() % uint64(n))
+}
+
+// rangeInt returns a value in [lo, hi].
+func (p *prng) rangeInt(lo, hi int) int {
+	return lo + p.intn(hi-lo+1)
+}
+
+// gen accumulates an assembly source file.
+type gen struct {
+	text strings.Builder
+	data strings.Builder
+	n    int
+}
+
+func newGen() *gen { return &gen{} }
+
+// T emits one text-section line.
+func (g *gen) T(format string, args ...any) {
+	fmt.Fprintf(&g.text, "        "+format+"\n", args...)
+}
+
+// L emits a text label.
+func (g *gen) L(name string) {
+	fmt.Fprintf(&g.text, "%s:\n", name)
+}
+
+// D emits one data-section line.
+func (g *gen) D(format string, args ...any) {
+	fmt.Fprintf(&g.data, format+"\n", args...)
+}
+
+// label returns a fresh unique label with the given prefix.
+func (g *gen) label(prefix string) string {
+	g.n++
+	return fmt.Sprintf("%s_%d", prefix, g.n)
+}
+
+// source assembles the final program text.
+func (g *gen) source() string {
+	var b strings.Builder
+	b.WriteString("        .text\n        .global main\n")
+	b.WriteString(g.text.String())
+	if g.data.Len() > 0 {
+		b.WriteString("        .data\n")
+		b.WriteString(g.data.String())
+	}
+	return b.String()
+}
+
+// fnBegin emits a function label and a standard prologue: allocate
+// frameWords words of stack and save the named registers (e.g. "ra", "s0")
+// into the top slots, all hinted local. It returns the save-slot offsets
+// so fnEnd can mirror them.
+func (g *gen) fnBegin(name string, frameWords int, save ...string) {
+	if len(save) > frameWords {
+		panic(fmt.Sprintf("workload: function %s saves %d regs in %d words", name, len(save), frameWords))
+	}
+	g.L(name)
+	g.T("addi $sp, $sp, %d", -4*frameWords)
+	for i, r := range save {
+		g.T("sw   $%s, %d($sp) !local", r, 4*(frameWords-1-i))
+	}
+}
+
+// fnEnd emits the matching epilogue: restore the saved registers, release
+// the frame, and return.
+func (g *gen) fnEnd(frameWords int, save ...string) {
+	for i := len(save) - 1; i >= 0; i-- {
+		g.T("lw   $%s, %d($sp) !local", save[i], 4*(frameWords-1-i))
+	}
+	g.T("addi $sp, $sp, %d", 4*frameWords)
+	g.T("ret")
+}
+
+// loop emits a counted loop header running body() count times using reg as
+// the induction register (counting down to zero). reg must not be
+// clobbered by the body.
+func (g *gen) loop(reg string, count int, body func()) {
+	top := g.label("loop")
+	g.T("li   $%s, %d", reg, count)
+	g.L(top)
+	body()
+	g.T("addi $%s, $%s, -1", reg, reg)
+	g.T("bnez $%s, %s", reg, top)
+}

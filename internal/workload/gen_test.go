@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/emu"
+)
+
+func TestPrngDeterministicAndVaried(t *testing.T) {
+	a, b := newPrng(7), newPrng(7)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("same-seed prngs diverge")
+		}
+	}
+	c := newPrng(8)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.next() == c.next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds collide %d/100 times", same)
+	}
+	if p := newPrng(0); p.next() == 0 {
+		t.Error("zero seed not remapped")
+	}
+}
+
+func TestPrngRanges(t *testing.T) {
+	p := newPrng(3)
+	for i := 0; i < 1000; i++ {
+		if v := p.intn(7); v < 0 || v >= 7 {
+			t.Fatalf("intn(7) = %d", v)
+		}
+		if v := p.rangeInt(5, 9); v < 5 || v > 9 {
+			t.Fatalf("rangeInt(5,9) = %d", v)
+		}
+	}
+}
+
+func TestGenFunctionFrames(t *testing.T) {
+	g := newGen()
+	g.L("main")
+	g.T("jal  f")
+	g.T("out  $v0")
+	g.T("halt")
+	g.fnBegin("f", 4, "ra", "s0")
+	g.T("li   $s0, 9")
+	g.T("move $v0, $s0")
+	g.fnEnd(4, "ra", "s0")
+
+	prog, err := asm.Assemble("gen.s", g.source())
+	if err != nil {
+		t.Fatalf("generated source does not assemble: %v\n%s", err, g.source())
+	}
+	m := emu.New(prog)
+	if halted, err := m.Run(1000); err != nil || !halted {
+		t.Fatalf("halted=%v err=%v", halted, err)
+	}
+	if len(m.Output) != 1 || m.Output[0] != 9 {
+		t.Errorf("output = %v", m.Output)
+	}
+	// $s0 must be restored (callee-saved) and $sp balanced.
+	if m.GPR[16] != 0 {
+		t.Errorf("$s0 = %d after return, want 0", m.GPR[16])
+	}
+}
+
+func TestGenFnBeginPanicsOnOverfullSaveArea(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for 3 saves in a 2-word frame")
+		}
+	}()
+	g := newGen()
+	g.fnBegin("bad", 2, "ra", "s0", "s1")
+}
+
+func TestGenLoop(t *testing.T) {
+	g := newGen()
+	g.L("main")
+	g.T("li   $t0, 0")
+	g.loop("s0", 10, func() {
+		g.T("addi $t0, $t0, 2")
+	})
+	g.T("out  $t0")
+	g.T("halt")
+	prog := asm.MustAssemble("loop.s", g.source())
+	m := emu.New(prog)
+	m.Run(0)
+	if len(m.Output) != 1 || m.Output[0] != 20 {
+		t.Errorf("output = %v, want [20]", m.Output)
+	}
+}
+
+func TestGenLabelsUnique(t *testing.T) {
+	g := newGen()
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		l := g.label("x")
+		if seen[l] {
+			t.Fatalf("duplicate label %q", l)
+		}
+		seen[l] = true
+	}
+}
+
+func TestGenSourceSections(t *testing.T) {
+	g := newGen()
+	g.L("main")
+	g.T("halt")
+	g.D("buf: .space 4")
+	src := g.source()
+	if !strings.Contains(src, ".text") || !strings.Contains(src, ".data") {
+		t.Errorf("source missing sections:\n%s", src)
+	}
+	ti, di := strings.Index(src, ".text"), strings.Index(src, ".data")
+	if ti > di {
+		t.Error(".data precedes .text")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	if scaled(100, 0.5) != 50 {
+		t.Error("scaled(100, .5)")
+	}
+	if scaled(3, 0.0001) != 1 {
+		t.Error("scaled floor is 1")
+	}
+	if scaled(10, 2) != 20 {
+		t.Error("scaled(10, 2)")
+	}
+}

@@ -1,0 +1,133 @@
+package workload
+
+func init() {
+	register(Workload{
+		Name:       "go",
+		PaperName:  "099.go",
+		Kind:       Integer,
+		PaperInsts: "541M",
+		Description: "Game-tree searcher over a 19x19 board: recursive " +
+			"minimax-style search with a leaf evaluator that scans " +
+			"neighbourhoods. Calibrated for a compute-heavy mix " +
+			"(relatively few memory references), moderate frames and a " +
+			"call depth of 4-5 — the profile where an extra cycle of " +
+			"cache latency hurts most (Figure 10: 099.go degrades 13.4%).",
+		build: buildGo,
+	})
+}
+
+func buildGo(scale float64, seed uint64) string {
+	g := newGen()
+	positions := scaled(160, scale)
+	const boardWords = 19 * 19
+
+	g.D("board:  .space %d", boardWords*4)
+	g.D("hist:   .space 4096") // move history ring (global store traffic)
+
+	g.L("main")
+	// Seed the board.
+	g.T("la   $s0, board")
+	g.T("move $t0, $s0")
+	g.T("li   $t1, %d", boardWords)
+	g.T("li   $t2, %d", 7+int32(seed%41)) // board seed (input data)
+	init := g.label("init")
+	g.L(init)
+	g.T("andi $t3, $t2, 3")
+	g.T("sw   $t3, 0($t0) !nonlocal")
+	g.T("addi $t0, $t0, 4")
+	g.T("addi $t2, $t2, 13")
+	g.T("addi $t1, $t1, -1")
+	g.T("bnez $t1, %s", init)
+
+	g.T("li   $s7, 0")
+	g.loop("s1", positions, func() {
+		g.T("li   $a0, 4")   // search depth
+		g.T("move $a1, $s1") // position seed
+		g.T("jal  search")
+		g.T("add  $s7, $s7, $v0")
+	})
+	g.T("out  $s7")
+	g.T("halt")
+
+	// search(depth, seed): tries 6 moves, evaluates each, recurses on the
+	// two best-looking. Frame 9 words with a local move buffer.
+	g.fnBegin("search", 9, "ra", "s0", "s1", "s2")
+	leaf := g.label("search_leaf")
+	g.T("blez $a0, %s", leaf)
+	g.T("move $s0, $a0") // depth
+	g.T("move $s1, $a1") // seed
+	g.T("li   $s2, 0")   // best
+	// Try 6 candidate squares; store their scores into the local buffer.
+	for i := 0; i < 6; i++ {
+		g.T("li   $t0, %d", 37*i+11)
+		g.T("mul  $t1, $s1, $t0")
+		g.T("addi $t1, $t1, %d", i)
+		g.T("li   $t2, %d", boardWords)
+		g.T("rem  $t1, $t1, $t2")
+		g.T("bgez $t1, search_pos_%d", g.n)
+		g.T("add  $t1, $t1, $t2")
+		g.L("search_pos_" + itoaW(g.n))
+		g.T("move $a0, $t1")
+		g.T("jal  evaluate")
+		g.T("sw   $v0, %d($sp) !local", 4*i)
+		g.T("add  $s2, $s2, $v0")
+		// Log the candidate move to the global history ring, as a real
+		// searcher would (global store traffic).
+		g.T("la   $t4, hist")
+		g.T("andi $t5, $s2, 1020")
+		g.T("add  $t4, $t4, $t5")
+		g.T("sw   $t1, 0($t4) !nonlocal")
+		g.n++
+	}
+	// Recurse twice with reduced depth.
+	g.T("addi $a0, $s0, -1")
+	g.T("lw   $t0, 0($sp) !local")
+	g.T("add  $a1, $s1, $t0")
+	g.T("jal  search")
+	g.T("add  $s2, $s2, $v0")
+	g.T("addi $a0, $s0, -1")
+	g.T("lw   $t0, 4($sp) !local")
+	g.T("xor  $a1, $s1, $t0")
+	g.T("jal  search")
+	g.T("add  $v0, $s2, $v0")
+	g.fnEnd(9, "ra", "s0", "s1", "s2")
+	g.L(leaf)
+	g.T("andi $v0, $a1, 255")
+	g.fnEnd(9, "ra", "s0", "s1", "s2")
+
+	// evaluate(square): leaf scan of a 5-cell neighbourhood. Tiny frame.
+	g.fnBegin("evaluate", 2, "ra")
+	g.T("la   $t9, board")
+	g.T("slli $t0, $a0, 2")
+	g.T("add  $t0, $t9, $t0")
+	g.T("lw   $v0, 0($t0) !nonlocal")
+	for _, off := range []int{4, -4, 76, -76} { // E, W, S, N neighbours
+		skip := g.label("ev_skip")
+		addr := 4 * (boardWords - 20) // stay in bounds: clamp via branch
+		_ = addr
+		g.T("addi $t1, $a0, %d", off/4)
+		g.T("bltz $t1, %s", skip)
+		g.T("li   $t2, %d", boardWords)
+		g.T("bge  $t1, $t2, %s", skip)
+		g.T("slli $t1, $t1, 2")
+		g.T("add  $t1, $t9, $t1")
+		g.T("lw   $t3, 0($t1) !nonlocal")
+		g.T("add  $v0, $v0, $t3")
+		g.L(skip)
+	}
+	g.fnEnd(2, "ra")
+
+	return g.source()
+}
+
+func itoaW(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,129 @@
+package workload
+
+func init() {
+	register(Workload{
+		Name:       "ijpeg",
+		PaperName:  "132.ijpeg",
+		Kind:       Integer,
+		PaperInsts: "621M",
+		Description: "Image-compression stand-in: 8x8 block transforms. " +
+			"Each block is copied from the global image into a 64-word " +
+			"local array on the stack, run through two butterfly passes, " +
+			"quantized and written back. Calibrated for dense, " +
+			"well-interleaved local/global traffic: one of the programs " +
+			"where the LVC fast path buys performance no extra D-cache " +
+			"port can (§4.4).",
+		build: buildIjpeg,
+	})
+}
+
+func buildIjpeg(scale float64, seed uint64) string {
+	g := newGen()
+	passes := scaled(16, scale)
+	const dim = 96 // 96x96 bytes
+	const blocks = dim / 8
+
+	g.D("image:  .space %d", dim*dim)
+
+	g.L("main")
+	// Seed the image bytes.
+	g.T("la   $s0, image")
+	g.T("move $t0, $s0")
+	g.T("li   $t1, %d", dim*dim)
+	g.T("li   $t2, %d", 11+int32(seed%53)) // pixel seed (input data)
+	il := g.label("iinit")
+	g.L(il)
+	g.T("sb   $t2, 0($t0) !nonlocal")
+	g.T("addi $t0, $t0, 1")
+	g.T("addi $t2, $t2, 7")
+	g.T("addi $t1, $t1, -1")
+	g.T("bnez $t1, %s", il)
+
+	g.T("li   $s7, 0")
+	g.loop("s1", passes, func() {
+		// For every 8x8 block: dct(blockIndex).
+		g.T("li   $s2, %d", blocks*blocks)
+		bt := g.label("blk")
+		g.L(bt)
+		g.T("addi $a0, $s2, -1")
+		g.T("jal  dct")
+		g.T("add  $s7, $s7, $v0")
+		g.T("addi $s2, $s2, -1")
+		g.T("bnez $s2, %s", bt)
+	})
+	g.T("out  $s7")
+	g.T("halt")
+
+	// dct(blockIndex): 70-word frame holding the 64-word block buffer.
+	// The transform is fully unrolled, as a compiler would emit an 8x8
+	// kernel, so every local access is a static $sp offset. Phase 1
+	// copies the block in (global loads → local stores), phase 2 runs
+	// row and column butterflies on the local buffer, phase 3 quantizes
+	// and writes back.
+	g.fnBegin("dct", 70, "ra", "s3", "s4", "s5")
+	g.T("li   $t0, %d", blocks)
+	g.T("rem  $t1, $a0, $t0") // bx
+	g.T("div  $t2, $a0, $t0") // by
+	g.T("slli $t1, $t1, 3")
+	g.T("slli $t2, $t2, 3")
+	g.T("li   $t3, %d", dim)
+	g.T("mul  $t2, $t2, $t3")
+	g.T("add  $t4, $t2, $t1")
+	g.T("add  $s3, $s0, $t4") // top-left corner of the block
+
+	// Copy in: 8 rows x 8 bytes, unrolled.
+	for r := 0; r < 8; r++ {
+		for cidx := 0; cidx < 8; cidx++ {
+			g.T("lbu  $t8, %d($s3) !nonlocal", r*dim+cidx)
+			g.T("sw   $t8, %d($sp) !local", 32*r+4*cidx)
+		}
+	}
+
+	// Row butterflies with fixed-point scaling, as a real integer DCT
+	// does (the arithmetic keeps the instruction mix compute-weighted,
+	// like the paper's Figure 2 profile for 132.ijpeg).
+	butterfly := func(a, b int) {
+		g.T("lw   $t0, %d($sp) !local", a)
+		g.T("lw   $t1, %d($sp) !local", b)
+		g.T("add  $t2, $t0, $t1")
+		g.T("sub  $t3, $t0, $t1")
+		g.T("slli $t4, $t2, 2")
+		g.T("add  $t2, $t2, $t4")
+		g.T("srai $t2, $t2, 2")
+		g.T("slli $t5, $t3, 1")
+		g.T("add  $t3, $t3, $t5")
+		g.T("srai $t3, $t3, 1")
+		g.T("xor  $t6, $t2, $t3")
+		g.T("andi $t6, $t6, 1")
+		g.T("add  $t2, $t2, $t6")
+		g.T("sw   $t2, %d($sp) !local", a)
+		g.T("sw   $t3, %d($sp) !local", b)
+	}
+	for r := 0; r < 8; r++ {
+		for p := 0; p < 4; p++ {
+			butterfly(32*r+4*p, 32*r+4*(7-p))
+		}
+	}
+
+	// Column butterflies.
+	for col := 0; col < 8; col++ {
+		for p := 0; p < 4; p++ {
+			butterfly(32*p+4*col, 32*(7-p)+4*col)
+		}
+	}
+
+	// Quantize + write back + checksum.
+	g.T("li   $s4, 0")
+	for r := 0; r < 8; r++ {
+		for cidx := 0; cidx < 8; cidx++ {
+			g.T("lw   $t8, %d($sp) !local", 32*r+4*cidx)
+			g.T("srai $t8, $t8, 3")
+			g.T("add  $s4, $s4, $t8")
+			g.T("sb   $t8, %d($s3) !nonlocal", r*dim+cidx)
+		}
+	}
+	g.T("move $v0, $s4")
+	g.fnEnd(70, "ra", "s3", "s4", "s5")
+
+	return g.source()
+}

@@ -1,0 +1,146 @@
+package workload
+
+func init() {
+	register(Workload{
+		Name:       "li",
+		PaperName:  "130.li",
+		Kind:       Integer,
+		PaperInsts: "434M",
+		Description: "Lisp-interpreter stand-in: the ctak-style tak " +
+			"recursion (the paper's input is ctak.lsp) plus recursive " +
+			"list walks over heap cons cells. Calibrated for the most " +
+			"call-intensive profile in the suite: small frames (3-7 " +
+			"words), deep recursion, and a high local share of both " +
+			"loads and stores, which makes it bandwidth-hungry on the " +
+			"LVC ((2+2) gains >25% over (2+0), Figure 11).",
+		build: buildLi,
+	})
+}
+
+func buildLi(scale float64, seed uint64) string {
+	g := newGen()
+	takReps := scaled(12, scale)
+	listReps := scaled(420, scale)
+	// The list stays short enough that the recursion's stack footprint
+	// (cells * 3-word frames) fits the 2 KB LVC — the paper reports a
+	// >99% LVC hit rate for 130.li, so its live stack is shallow.
+	cells := 120
+
+	// Cons-cell heap: car at +0, cdr at +4.
+	g.D("cons:   .space %d", cells*8)
+
+	g.L("main")
+	// Build a list 0..cells-1: cons[i] = (i, &cons[i+1]), last cdr = 0.
+	g.T("la   $s0, cons")
+	g.T("move $t0, $s0")
+	g.T("li   $t1, %d", int32(seed%23)) // car value base (input data)
+	g.T("li   $t2, %d", int32(seed%23)+int32(cells-1))
+	bl := g.label("build")
+	g.L(bl)
+	g.T("sw   $t1, 0($t0) !nonlocal")
+	g.T("addi $t3, $t0, 8")
+	g.T("sw   $t3, 4($t0) !nonlocal")
+	g.T("move $t0, $t3")
+	g.T("addi $t1, $t1, 1")
+	g.T("bne  $t1, $t2, %s", bl)
+	g.T("sw   $t1, 0($t0) !nonlocal")
+	g.T("sw   $zero, 4($t0) !nonlocal")
+
+	// checksum in s7
+	g.T("li   $s7, 0")
+
+	// tak phase.
+	g.loop("s1", takReps, func() {
+		g.T("li   $a0, 12")
+		g.T("li   $a1, 8")
+		g.T("li   $a2, 4")
+		g.T("jal  tak")
+		g.T("add  $s7, $s7, $v0")
+	})
+
+	// list phase: sumlist + revwalk.
+	g.loop("s1", listReps, func() {
+		g.T("move $a0, $s0")
+		g.T("jal  sumlist")
+		g.T("add  $s7, $s7, $v0")
+		g.T("move $a0, $s0")
+		g.T("li   $a1, 0")
+		g.T("jal  nthcdr_sum")
+		g.T("xor  $s7, $s7, $v0")
+	})
+
+	g.T("out  $s7")
+	g.T("halt")
+
+	// tak(x,y,z) — the classic call-storm. Frame: 7 words, saves ra and
+	// three callee-saved registers, spills two intermediate results to
+	// the stack (dense local store→reload pairs).
+	g.fnBegin("tak", 7, "ra", "s0", "s1", "s2")
+	g.T("slt  $t0, $a1, $a0") // y < x ?
+	rec := g.label("tak_rec")
+	g.T("bnez $t0, %s", rec)
+	g.T("move $v0, $a2")
+	g.fnEnd(7, "ra", "s0", "s1", "s2")
+	g.L(rec)
+	g.T("move $s0, $a0")
+	g.T("move $s1, $a1")
+	g.T("move $s2, $a2")
+	g.T("addi $a0, $s0, -1")
+	g.T("move $a1, $s1")
+	g.T("move $a2, $s2")
+	g.T("jal  tak")
+	g.T("sw   $v0, 0($sp) !local")
+	g.T("addi $a0, $s1, -1")
+	g.T("move $a1, $s2")
+	g.T("move $a2, $s0")
+	g.T("jal  tak")
+	g.T("sw   $v0, 4($sp) !local")
+	g.T("addi $a0, $s2, -1")
+	g.T("move $a1, $s0")
+	g.T("move $a2, $s1")
+	g.T("jal  tak")
+	g.T("move $a2, $v0")
+	g.T("lw   $a0, 0($sp) !local")
+	g.T("lw   $a1, 4($sp) !local")
+	g.T("jal  tak")
+	g.fnEnd(7, "ra", "s0", "s1", "s2")
+
+	// sumlist(p): recursive sum of the cars — one heap load per cell,
+	// one tiny frame per cell (3 words). The walk also marks each cell
+	// (a GC-style touch), giving the interpreter its heap store traffic.
+	g.fnBegin("sumlist", 3, "ra", "s0")
+	done := g.label("sum_done")
+	g.T("beqz $a0, %s", done)
+	g.T("lw   $s0, 0($a0) !nonlocal") // car
+	g.T("xori $t0, $s0, 1")
+	g.T("sw   $t0, 0($a0) !nonlocal") // mark (flips a tag bit)
+	g.T("lw   $a0, 4($a0) !nonlocal") // cdr
+	g.T("jal  sumlist")
+	g.T("add  $v0, $v0, $s0")
+	g.fnEnd(3, "ra", "s0")
+	g.L(done)
+	g.T("li   $v0, 0")
+	g.fnEnd(3, "ra", "s0")
+
+	// nthcdr_sum(p, acc): iterative walk with an *unhinted* access
+	// through a pointer into the stack — the ambiguous case of Figure 4:
+	// a local passed by reference. (<1% of static memory instructions.)
+	g.fnBegin("nthcdr_sum", 4, "ra")
+	g.T("sw   $a1, 0($sp) !local") // acc lives in the frame
+	g.T("addi $t9, $sp, 0")        // &acc
+	walk := g.label("walk")
+	wdone := g.label("walk_done")
+	g.L(walk)
+	g.T("beqz $a0, %s", wdone)
+	g.T("lw   $t0, 0($a0) !nonlocal")
+	g.T("lw   $t1, 0($t9)") // unhinted: pointer to a local (Figure 4)
+	g.T("add  $t1, $t1, $t0")
+	g.T("sw   $t1, 0($t9)") // unhinted
+	g.T("lw   $a0, 4($a0) !nonlocal")
+	g.T("b    %s", walk)
+	g.L(wdone)
+	g.T("lw   $v0, 0($sp) !local")
+	g.fnEnd(4, "ra")
+
+	return g.source()
+}

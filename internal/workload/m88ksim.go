@@ -1,0 +1,125 @@
+package workload
+
+func init() {
+	register(Workload{
+		Name:       "m88ksim",
+		PaperName:  "124.m88ksim",
+		Kind:       Integer,
+		PaperInsts: "250M",
+		Description: "Microprocessor-simulator stand-in: a " +
+			"fetch/decode/dispatch interpreter loop over a synthetic " +
+			"guest program, with per-opcode handler functions and a " +
+			"guest register file in global memory. Includes a " +
+			"loadcore()-style startup function with an 11K-word stack " +
+			"frame — the paper found exactly two such giants in this " +
+			"program (§2.2.3 footnote). Calibrated for a modest local " +
+			"share and almost no reuse of LVAQ values (Table 3: 0% " +
+			"fast-forwarding gain).",
+		build: buildM88ksim,
+	})
+}
+
+func buildM88ksim(scale float64, seed uint64) string {
+	g := newGen()
+	steps := scaled(24000, scale)
+	const guestInsts = 1024
+
+	g.D("gprog:  .space %d", guestInsts*4) // guest instruction memory
+	g.D("gregs:  .space 128")              // 32 guest registers
+	g.D("handlers:")
+	for i := 0; i < 8; i++ {
+		g.D("        .word handler%d", i)
+	}
+
+	g.L("main")
+	// loadcore: the giant-frame startup (11K words, run once).
+	g.T("jal  loadcore")
+	// Fill guest program with pseudo-instructions.
+	g.T("la   $s0, gprog")
+	g.T("move $t0, $s0")
+	g.T("li   $t1, %d", guestInsts)
+	g.T("li   $t2, %d", 0x1234+int32(seed%89)*257) // guest program seed (input)
+	fl := g.label("gfill")
+	g.L(fl)
+	g.T("li   $t4, 2654435761")
+	g.T("mul  $t2, $t2, $t4")
+	g.T("addi $t2, $t2, 97")
+	g.T("sw   $t2, 0($t0) !nonlocal")
+	g.T("addi $t0, $t0, 4")
+	g.T("addi $t1, $t1, -1")
+	g.T("bnez $t1, %s", fl)
+
+	// Interpreter loop: s1 = guest pc index, s2 = handler table,
+	// s3 = guest regfile, s7 = checksum.
+	g.T("la   $s2, handlers")
+	g.T("la   $s3, gregs")
+	g.T("li   $s1, 0")
+	g.T("li   $s7, 0")
+	g.loop("s4", steps, func() {
+		g.T("andi $t0, $s1, %d", guestInsts-1)
+		g.T("slli $t0, $t0, 2")
+		g.T("add  $t0, $s0, $t0")
+		g.T("lw   $t1, 0($t0) !nonlocal") // fetch
+		g.T("srli $t2, $t1, 8")
+		g.T("andi $t2, $t2, 7") // decode opcode
+		g.T("slli $t2, $t2, 2")
+		g.T("add  $t2, $s2, $t2")
+		g.T("lw   $t3, 0($t2) !nonlocal") // handler pointer
+		g.T("move $a0, $t1")
+		g.T("jalr $ra, $t3") // dispatch
+		g.T("add  $s7, $s7, $v0")
+		g.T("addi $s1, $s1, 1")
+	})
+	g.T("out  $s7")
+	g.T("halt")
+
+	// Eight handlers: guest ALU/load/store emulation on the guest
+	// register file. Small frames; handlers 0-3 are leaves without
+	// frames at all (frame 1 word), 4-7 save a register.
+	for i := 0; i < 8; i++ {
+		name := "handler" + itoaW(i)
+		if i < 4 {
+			g.fnBegin(name, 1, "ra")
+			g.T("andi $t0, $a0, 124") // guest rd (word aligned)
+			g.T("add  $t0, $s3, $t0")
+			g.T("lw   $t1, 0($t0) !nonlocal")
+			g.T("srli $t2, $a0, %d", 3+i)
+			g.T("add  $t1, $t1, $t2")
+			g.T("sw   $t1, 0($t0) !nonlocal")
+			g.T("move $v0, $t1")
+			g.fnEnd(1, "ra")
+		} else {
+			g.fnBegin(name, 3, "ra", "s5")
+			g.T("andi $t0, $a0, 124")
+			g.T("add  $t0, $s3, $t0")
+			g.T("lw   $s5, 0($t0) !nonlocal")
+			g.T("srli $t1, $a0, 16")
+			g.T("andi $t1, $t1, 124")
+			g.T("add  $t1, $s3, $t1")
+			g.T("lw   $t2, 0($t1) !nonlocal")
+			g.T("xor  $s5, $s5, $t2")
+			g.T("sw   $s5, 0($t1) !nonlocal")
+			g.T("move $v0, $s5")
+			g.fnEnd(3, "ra", "s5")
+		}
+	}
+
+	// loadcore: allocates an 11264-word frame (45 KB) and initializes a
+	// stripe of it — the Figure 3 outlier. Accesses indexed from $sp.
+	const giant = 11264
+	g.fnBegin("loadcore", giant, "ra")
+	g.T("li   $t0, 0")
+	g.T("li   $t1, 256")
+	lc := g.label("lc")
+	g.L(lc)
+	g.T("slli $t2, $t0, 4") // every 16th word
+	g.T("add  $t3, $sp, $t2")
+	g.T("sw   $t0, 0($t3) !local")
+	g.T("lw   $t4, 0($t3) !local")
+	g.T("addi $t0, $t0, 1")
+	g.T("bne  $t0, $t1, %s", lc)
+	g.T("li   $v0, 0")
+	g.fnEnd(giant, "ra")
+
+	return g.source()
+}

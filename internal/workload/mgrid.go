@@ -1,0 +1,131 @@
+package workload
+
+func init() {
+	register(Workload{
+		Name:       "mgrid",
+		PaperName:  "107.mgrid",
+		Kind:       FloatingPoint,
+		PaperInsts: "684M",
+		Description: "Multigrid-solver stand-in: 7-point relaxation and " +
+			"restriction over a 24x24x24 double-precision grid (~110 KB " +
+			"per array). The most load-dominated, least call-intensive " +
+			"profile in the suite — essentially no stack traffic, so an " +
+			"LVC is pure overhead-free idle silicon for it.",
+		build: buildMgrid,
+	})
+}
+
+func buildMgrid(scale float64, seed uint64) string {
+	g := newGen()
+	cycles := scaled(6, scale)
+	const dim = 24
+	const plane = dim * dim
+	const planeBytes = plane * 8
+	const rowBytes = dim * 8
+
+	g.D("mu:     .space %d", dim*dim*dim*8)
+	g.D("mr:     .space %d", dim*dim*dim*8)
+
+	g.L("main")
+	g.T("la   $s0, mu")
+	g.T("la   $s1, mr")
+	// Seed mu.
+	g.T("li   $t0, %d", dim*dim*dim)
+	g.T("move $t1, $s0")
+	g.T("li   $t2, %d", 2+int32(seed%37)) // grid seed (input data)
+	sl := g.label("seed")
+	g.L(sl)
+	g.T("andi $t3, $t2, 15")
+	g.T("cvtif $f0, $t3")
+	g.T("fsd  $f0, 0($t1) !nonlocal")
+	g.T("addi $t1, $t1, 8")
+	g.T("addi $t2, $t2, 11")
+	g.T("addi $t0, $t0, -1")
+	g.T("bnez $t0, %s", sl)
+
+	// 1/8 in f10, 1/2 in f12.
+	g.T("li   $t5, 1")
+	g.T("cvtif $f10, $t5")
+	g.T("li   $t5, 8")
+	g.T("cvtif $f11, $t5")
+	g.T("fdiv $f10, $f10, $f11")
+	g.T("li   $t5, 2")
+	g.T("cvtif $f12, $t5")
+	g.T("fdiv $f12, $f10, $f12")
+	g.T("fmul $f12, $f12, $f11") // 0.5
+
+	g.loop("s3", cycles, func() {
+		g.T("jal  relax")   // mr <- smooth(mu)
+		g.T("jal  correct") // mu <- mu/2 + mr/2
+	})
+
+	// Checksum along the main space diagonal.
+	g.T("fsub $f4, $f4, $f4")
+	g.T("li   $t0, 1")
+	ck := g.label("ck")
+	g.L(ck)
+	g.T("li   $t1, %d", plane+dim+1)
+	g.T("mul  $t2, $t0, $t1")
+	g.T("slli $t2, $t2, 3")
+	g.T("add  $t2, $s0, $t2")
+	g.T("fld  $f5, 0($t2) !nonlocal")
+	g.T("fadd $f4, $f4, $f5")
+	g.T("addi $t0, $t0, 1")
+	g.T("li   $t1, %d", dim-1)
+	g.T("bne  $t0, $t1, %s", ck)
+	g.T("cvtfi $t3, $f4")
+	g.T("out  $t3")
+	g.T("halt")
+
+	// relax: mr[c] = (mu[c] + neighbours)/8 over the interior, walking a
+	// flat cursor (boundary cells read stale data harmlessly — the
+	// traffic pattern, not the numerics, is what matters here, but the
+	// result is still deterministic).
+	g.fnBegin("relax", 3, "ra")
+	g.T("li   $t0, %d", plane*(dim-2))
+	g.T("li   $t1, %d", planeBytes)
+	g.T("add  $t2, $s0, $t1")
+	g.T("add  $t3, $s1, $t1")
+	rl := g.label("rl")
+	g.L(rl)
+	g.T("fld  $f0, 0($t2) !nonlocal")
+	g.T("fld  $f1, %d($t2) !nonlocal", -planeBytes)
+	g.T("fld  $f2, %d($t2) !nonlocal", planeBytes)
+	g.T("fld  $f3, %d($t2) !nonlocal", -rowBytes)
+	g.T("fld  $f5, %d($t2) !nonlocal", rowBytes)
+	g.T("fld  $f6, -8($t2) !nonlocal")
+	g.T("fld  $f7, 8($t2) !nonlocal")
+	g.T("fadd $f8, $f1, $f2")
+	g.T("fadd $f9, $f3, $f5")
+	g.T("fadd $f8, $f8, $f9")
+	g.T("fadd $f9, $f6, $f7")
+	g.T("fadd $f8, $f8, $f9")
+	g.T("fadd $f8, $f8, $f0")
+	g.T("fmul $f8, $f8, $f10")
+	g.T("fsd  $f8, 0($t3) !nonlocal")
+	g.T("addi $t2, $t2, 8")
+	g.T("addi $t3, $t3, 8")
+	g.T("addi $t0, $t0, -1")
+	g.T("bnez $t0, %s", rl)
+	g.fnEnd(3, "ra")
+
+	// correct: mu = (mu + mr) / 2 over everything.
+	g.fnBegin("correct", 3, "ra")
+	g.T("li   $t0, %d", dim*dim*dim)
+	g.T("move $t1, $s0")
+	g.T("move $t2, $s1")
+	cl := g.label("cl")
+	g.L(cl)
+	g.T("fld  $f0, 0($t1) !nonlocal")
+	g.T("fld  $f1, 0($t2) !nonlocal")
+	g.T("fadd $f0, $f0, $f1")
+	g.T("fmul $f0, $f0, $f12") // average: keeps magnitudes stable
+	g.T("fsd  $f0, 0($t1) !nonlocal")
+	g.T("addi $t1, $t1, 8")
+	g.T("addi $t2, $t2, 8")
+	g.T("addi $t0, $t0, -1")
+	g.T("bnez $t0, %s", cl)
+	g.fnEnd(3, "ra")
+
+	return g.source()
+}

@@ -1,0 +1,175 @@
+package workload
+
+import "fmt"
+
+func init() {
+	register(Workload{
+		Name:       "perl",
+		PaperName:  "134.perl",
+		Kind:       Integer,
+		PaperInsts: "525M",
+		Description: "Script-interpreter stand-in (the paper runs " +
+			"scrabbl.pl): string hashing into an associative array, a " +
+			"recursive wildcard matcher, and an in-place insertion sort " +
+			"over a stack-resident word list. Calibrated for a mixed " +
+			"profile: byte-grained global loads, frequent small-frame " +
+			"calls, and a moderate local share.",
+		build: buildPerl,
+	})
+}
+
+func buildPerl(scale float64, seed uint64) string {
+	g := newGen()
+	// The string pool is the program's input text: reseed it per input.
+	rng := newPrng(134 ^ seed*0x9E3779B97F4A7C15)
+	iters := scaled(2600, scale)
+	const nStrings = 32
+	const strLen = 24
+
+	// String pool: fixed-length pseudo-words.
+	g.D("spool:")
+	for i := 0; i < nStrings; i++ {
+		bytes := ""
+		for j := 0; j < strLen; j++ {
+			if j > 0 {
+				bytes += ", "
+			}
+			bytes += fmt.Sprint(97 + rng.intn(26))
+		}
+		g.D("        .byte %s", bytes)
+	}
+	g.D("        .align 4")
+	g.D("htab:   .space 4096")
+	g.D("huse:   .space 8192")
+
+	g.L("main")
+	g.T("la   $s0, spool")
+	g.T("la   $s1, htab")
+	g.T("li   $s7, 0")
+	g.loop("s2", iters, func() {
+		// Pick a string: idx = iter*7 mod 32.
+		g.T("li   $t0, 7")
+		g.T("mul  $t0, $s2, $t0")
+		g.T("andi $t0, $t0, %d", nStrings-1)
+		g.T("li   $t1, %d", strLen)
+		g.T("mul  $t1, $t0, $t1")
+		g.T("add  $a0, $s0, $t1")
+		g.T("jal  hash")
+		// Insert into the table and bump the bucket's use counters (the
+		// associative-array bookkeeping a scripting runtime does).
+		g.T("andi $t2, $v0, 1023")
+		g.T("slli $t2, $t2, 2")
+		g.T("add  $t2, $s1, $t2")
+		g.T("lw   $t3, 0($t2) !nonlocal")
+		g.T("add  $t3, $t3, $v0")
+		g.T("sw   $t3, 0($t2) !nonlocal")
+		g.T("la   $t5, huse")
+		g.T("add  $t5, $t5, $t2")
+		g.T("sub  $t5, $t5, $s1")
+		g.T("lw   $t6, 0($t5) !nonlocal")
+		g.T("addi $t6, $t6, 1")
+		g.T("sw   $t6, 0($t5) !nonlocal")
+		g.T("sw   $v0, 4($t5) !nonlocal")
+		g.T("add  $s7, $s7, $v0")
+		// Recursive match of the string against itself shifted.
+		g.T("move $a1, $a0")
+		g.T("li   $a2, %d", strLen-8)
+		g.T("jal  match")
+		g.T("add  $s7, $s7, $v0")
+		// Every 64 iterations sort a scratch list on the stack.
+		skip := g.label("nosort")
+		g.T("andi $t4, $s2, 63")
+		g.T("bnez $t4, %s", skip)
+		g.T("move $a0, $s7")
+		g.T("jal  sortburst")
+		g.T("xor  $s7, $s7, $v0")
+		g.L(skip)
+	})
+	g.T("out  $s7")
+	g.T("halt")
+
+	// hash(p): h = h*31 + byte over strLen bytes. Leaf, tiny frame.
+	g.fnBegin("hash", 2, "ra")
+	g.T("li   $v0, 17")
+	g.T("li   $t0, %d", strLen)
+	g.T("move $t1, $a0")
+	hl := g.label("hl")
+	g.L(hl)
+	g.T("lbu  $t2, 0($t1) !nonlocal")
+	g.T("slli $t3, $v0, 5")
+	g.T("sub  $t3, $t3, $v0")
+	g.T("add  $v0, $t3, $t2")
+	g.T("addi $t1, $t1, 1")
+	g.T("addi $t0, $t0, -1")
+	g.T("bnez $t0, %s", hl)
+	g.fnEnd(2, "ra")
+
+	// match(a, b, n): recursive comparator — one frame per character
+	// pair, saving the pointers in the frame (local store/reload).
+	g.fnBegin("match", 5, "ra")
+	mok := g.label("m_base")
+	g.T("blez $a2, %s", mok)
+	g.T("sw   $a0, 0($sp) !local")
+	g.T("sw   $a1, 4($sp) !local")
+	g.T("lbu  $t0, 0($a0) !nonlocal")
+	g.T("lbu  $t1, 1($a1) !nonlocal")
+	g.T("sub  $t2, $t0, $t1")
+	g.T("lw   $a0, 0($sp) !local")
+	g.T("lw   $a1, 4($sp) !local")
+	g.T("addi $a0, $a0, 1")
+	g.T("addi $a1, $a1, 1")
+	g.T("addi $a2, $a2, -1")
+	g.T("sw   $t2, 8($sp) !local")
+	g.T("jal  match")
+	g.T("lw   $t2, 8($sp) !local")
+	g.T("add  $v0, $v0, $t2")
+	g.fnEnd(5, "ra")
+	g.L(mok)
+	g.T("li   $v0, 0")
+	g.fnEnd(5, "ra")
+
+	// sortburst(seed): fills a 12-word list in its frame and insertion-
+	// sorts it — dense local traffic with data-dependent reuse.
+	g.fnBegin("sortburst", 16, "ra")
+	g.T("move $t0, $a0")
+	for i := 0; i < 12; i++ {
+		g.T("li   $t9, 2654435761")
+		g.T("mul  $t0, $t0, $t9")
+		g.T("addi $t0, $t0, %d", i+1)
+		g.T("srli $t1, $t0, 20")
+		g.T("sw   $t1, %d($sp) !local", 4*i)
+	}
+	// Insertion sort over the 12 slots (runtime loops, $sp-indexed via a
+	// moving pointer — these are the <5% of stack references not indexed
+	// directly by $sp, §2.2.3).
+	g.T("li   $t2, 1") // i
+	oi := g.label("sort_i")
+	oj := g.label("sort_j")
+	ojend := g.label("sort_jend")
+	oiend := g.label("sort_iend")
+	g.L(oi)
+	g.T("li   $t9, 12")
+	g.T("bge  $t2, $t9, %s", oiend)
+	g.T("slli $t3, $t2, 2")
+	g.T("add  $t3, $sp, $t3") // &list[i]
+	g.T("lw   $t4, 0($t3) !local")
+	g.T("move $t5, $t3")
+	g.L(oj)
+	g.T("beq  $t5, $sp, %s", ojend)
+	g.T("lw   $t6, -4($t5) !local")
+	g.T("bge  $t4, $t6, %s", ojend)
+	g.T("sw   $t6, 0($t5) !local")
+	g.T("addi $t5, $t5, -4")
+	g.T("b    %s", oj)
+	g.L(ojend)
+	g.T("sw   $t4, 0($t5) !local")
+	g.T("addi $t2, $t2, 1")
+	g.T("b    %s", oi)
+	g.L(oiend)
+	g.T("lw   $v0, 0($sp) !local")
+	g.T("lw   $t7, 44($sp) !local")
+	g.T("add  $v0, $v0, $t7")
+	g.fnEnd(16, "ra")
+
+	return g.source()
+}

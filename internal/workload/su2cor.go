@@ -1,0 +1,171 @@
+package workload
+
+func init() {
+	register(Workload{
+		Name:       "su2cor",
+		PaperName:  "103.su2cor",
+		Kind:       FloatingPoint,
+		PaperInsts: "676M",
+		Description: "Quantum-physics stand-in: blocked complex " +
+			"matrix-vector products where every 4-element block goes " +
+			"through a real function call that spills FP intermediates " +
+			"to its frame. Calibrated as the FP program with the best " +
+			"local/non-local interleaving (~20% local) — the one where " +
+			"the paper observed the (2+2) configuration slightly *lose* " +
+			"to (2+0) from LSQ-forwarding displacement (§4.3).",
+		build: buildSu2cor,
+	})
+}
+
+func buildSu2cor(scale float64, seed uint64) string {
+	g := newGen()
+	iters := scaled(55, scale)
+	const n = 48 // 48x48 complex matrix = 36 KB, vectors 768 B
+
+	g.D("mat:    .space %d", n*n*16) // interleaved re/im doubles
+	g.D("vec:    .space %d", n*16)
+	g.D("res:    .space %d", n*16)
+
+	g.L("main")
+	g.T("la   $s0, mat")
+	g.T("la   $s1, vec")
+	g.T("la   $s2, res")
+	// Seed matrix and vector.
+	g.T("li   $t0, %d", n*n)
+	g.T("move $t1, $s0")
+	g.T("li   $t2, %d", 1+int32(seed%19)) // matrix seed (input data)
+	ml := g.label("minit")
+	g.L(ml)
+	g.T("andi $t3, $t2, 15")
+	g.T("cvtif $f0, $t3")
+	g.T("fsd  $f0, 0($t1) !nonlocal")
+	g.T("addi $t3, $t3, 1")
+	g.T("cvtif $f1, $t3")
+	g.T("fsd  $f1, 8($t1) !nonlocal")
+	g.T("addi $t1, $t1, 16")
+	g.T("addi $t2, $t2, 5")
+	g.T("addi $t0, $t0, -1")
+	g.T("bnez $t0, %s", ml)
+	g.T("li   $t0, %d", n)
+	g.T("move $t1, $s1")
+	g.T("li   $t2, 3")
+	vl := g.label("vinit")
+	g.L(vl)
+	g.T("andi $t3, $t2, 7")
+	g.T("cvtif $f0, $t3")
+	g.T("fsd  $f0, 0($t1) !nonlocal")
+	g.T("fsd  $f0, 8($t1) !nonlocal")
+	g.T("addi $t1, $t1, 16")
+	g.T("addi $t2, $t2, 3")
+	g.T("addi $t0, $t0, -1")
+	g.T("bnez $t0, %s", vl)
+
+	// Scale factor 1/(16n) keeps the iterated vector bounded (elements
+	// stay O(10) across iterations).
+	g.T("li   $t4, 1")
+	g.T("cvtif $f12, $t4")
+	g.T("li   $t4, %d", n*16)
+	g.T("cvtif $f13, $t4")
+	g.T("fdiv $f12, $f12, $f13")
+
+	g.loop("s3", iters, func() {
+		// res = (mat * vec) / n, row by row with blocked leaf calls.
+		g.T("li   $s4, 0") // row
+		rl := g.label("row")
+		g.L(rl)
+		g.T("move $a0, $s4")
+		g.T("jal  rowdot")
+		g.T("addi $s4, $s4, 1")
+		g.T("li   $t0, %d", n)
+		g.T("bne  $s4, $t0, %s", rl)
+		// vec <- res (normalized), keeping the iteration bounded.
+		g.T("li   $t0, %d", n*2)
+		g.T("move $t1, $s1")
+		g.T("move $t2, $s2")
+		cp := g.label("cp")
+		g.L(cp)
+		g.T("fld  $f0, 0($t2) !nonlocal")
+		g.T("fmul $f0, $f0, $f12")
+		g.T("fsd  $f0, 0($t1) !nonlocal")
+		g.T("addi $t1, $t1, 8")
+		g.T("addi $t2, $t2, 8")
+		g.T("addi $t0, $t0, -1")
+		g.T("bnez $t0, %s", cp)
+	})
+
+	// Checksum.
+	g.T("fld  $f4, 0($s1) !nonlocal")
+	g.T("fld  $f5, 8($s1) !nonlocal")
+	g.T("fadd $f4, $f4, $f5")
+	g.T("cvtfi $t3, $f4")
+	g.T("out  $t3")
+	g.T("halt")
+
+	// rowdot(i): complex dot product of matrix row i with vec, processed
+	// in 4-element blocks through blockmac, accumulating in the frame
+	// (FP spills: fsd/fld local — interleaved with the global stream).
+	g.fnBegin("rowdot", 8, "ra", "s5", "s6")
+	g.T("li   $t0, %d", n*16)
+	g.T("mul  $t1, $a0, $t0")
+	g.T("add  $s5, $s0, $t1") // row base
+	g.T("slli $t2, $a0, 4")
+	g.T("add  $s6, $s2, $t2") // &res[i]
+	g.T("fsub $f6, $f6, $f6") // acc re
+	g.T("fsub $f7, $f7, $f7") // acc im
+	g.T("fsd  $f6, 0($sp) !local")
+	g.T("fsd  $f7, 8($sp) !local")
+	g.T("li   $t3, %d", n/4) // blocks
+	g.T("move $t4, $s5")
+	g.T("move $t5, $s1")
+	bl := g.label("blk")
+	g.L(bl)
+	g.T("move $a0, $t4")
+	g.T("move $a1, $t5")
+	g.T("sw   $t3, 16($sp) !local")
+	g.T("sw   $t4, 20($sp) !local") // hmm: pointers preserved in frame
+	g.T("jal  blockmac")
+	g.T("lw   $t3, 16($sp) !local")
+	g.T("lw   $t4, 20($sp) !local")
+	g.T("lw   $t5, 20($sp) !local") // recompute vec cursor below
+	g.T("fld  $f6, 0($sp) !local")
+	g.T("fadd $f6, $f6, $f0")
+	g.T("fsd  $f6, 0($sp) !local")
+	g.T("fld  $f7, 8($sp) !local")
+	g.T("fadd $f7, $f7, $f1")
+	g.T("fsd  $f7, 8($sp) !local")
+	g.T("sub  $t6, $t4, $s5") // progress in bytes
+	g.T("addi $t4, $t4, 64")
+	g.T("add  $t5, $s1, $t6")
+	g.T("addi $t5, $t5, 64")
+	g.T("addi $t3, $t3, -1")
+	g.T("bnez $t3, %s", bl)
+	g.T("fld  $f6, 0($sp) !local")
+	g.T("fld  $f7, 8($sp) !local")
+	g.T("fsd  $f6, 0($s6) !nonlocal")
+	g.T("fsd  $f7, 8($s6) !nonlocal")
+	g.fnEnd(8, "ra", "s5", "s6")
+
+	// blockmac(rowPtr, vecPtr): multiply-accumulate 4 complex elements;
+	// returns acc re in f0, im in f1. Leaf, tiny frame.
+	g.fnBegin("blockmac", 2, "ra")
+	g.T("fsub $f0, $f0, $f0")
+	g.T("fsub $f1, $f1, $f1")
+	for e := 0; e < 4; e++ {
+		off := e * 16
+		g.T("fld  $f2, %d($a0) !nonlocal", off)   // a.re
+		g.T("fld  $f3, %d($a0) !nonlocal", off+8) // a.im
+		g.T("fld  $f4, %d($a1) !nonlocal", off)   // b.re
+		g.T("fld  $f5, %d($a1) !nonlocal", off+8) // b.im
+		g.T("fmul $f6, $f2, $f4")
+		g.T("fmul $f7, $f3, $f5")
+		g.T("fsub $f6, $f6, $f7")
+		g.T("fadd $f0, $f0, $f6")
+		g.T("fmul $f8, $f2, $f5")
+		g.T("fmul $f9, $f3, $f4")
+		g.T("fadd $f8, $f8, $f9")
+		g.T("fadd $f1, $f1, $f8")
+	}
+	g.fnEnd(2, "ra")
+
+	return g.source()
+}

@@ -1,0 +1,121 @@
+package workload
+
+func init() {
+	register(Workload{
+		Name:       "swim",
+		PaperName:  "102.swim",
+		Kind:       FloatingPoint,
+		PaperInsts: "473M",
+		Description: "Shallow-water-model stand-in: finite-difference " +
+			"updates over three 64x64 double grids (u, v, p; ~96 KB " +
+			"working set). Long unrolled FP streams with essentially no " +
+			"stack traffic in the steady state — the purest " +
+			"bandwidth-bound FP profile, used in Figure 11 to show a " +
+			"program where LVC ports barely matter but D-cache ports do.",
+		build: buildSwim,
+	})
+}
+
+func buildSwim(scale float64, seed uint64) string {
+	g := newGen()
+	steps := scaled(11, scale)
+	const dim = 64
+	const rowBytes = dim * 8
+
+	g.D("gu:     .space %d", dim*dim*8)
+	g.D("gv:     .space %d", dim*dim*8)
+	g.D("gp:     .space %d", dim*dim*8)
+
+	g.L("main")
+	g.T("la   $s0, gu")
+	g.T("la   $s1, gv")
+	g.T("la   $s2, gp")
+	// Seed all three grids.
+	g.T("li   $t0, %d", dim*dim)
+	g.T("move $t1, $s0")
+	g.T("move $t2, $s1")
+	g.T("move $t3, $s2")
+	g.T("li   $t4, %d", 1+int32(seed%29)) // initial field values (input data)
+	sl := g.label("seed")
+	g.L(sl)
+	g.T("andi $t5, $t4, 31")
+	g.T("cvtif $f0, $t5")
+	g.T("fsd  $f0, 0($t1) !nonlocal")
+	g.T("addi $t5, $t5, 3")
+	g.T("cvtif $f1, $t5")
+	g.T("fsd  $f1, 0($t2) !nonlocal")
+	g.T("fadd $f2, $f0, $f1")
+	g.T("fsd  $f2, 0($t3) !nonlocal")
+	g.T("addi $t1, $t1, 8")
+	g.T("addi $t2, $t2, 8")
+	g.T("addi $t3, $t3, 8")
+	g.T("addi $t4, $t4, 7")
+	g.T("addi $t0, $t0, -1")
+	g.T("bnez $t0, %s", sl)
+
+	// 0.5 constant in f10.
+	g.T("li   $t5, 1")
+	g.T("cvtif $f10, $t5")
+	g.T("li   $t5, 2")
+	g.T("cvtif $f11, $t5")
+	g.T("fdiv $f10, $f10, $f11")
+
+	g.loop("s3", steps, func() {
+		g.T("jal  calc1")
+		g.T("jal  calc2")
+	})
+
+	// Checksum over gp's diagonal.
+	g.T("fsub $f4, $f4, $f4")
+	g.T("li   $t0, 0")
+	ck := g.label("ck")
+	g.L(ck)
+	g.T("li   $t1, %d", dim+1)
+	g.T("mul  $t2, $t0, $t1")
+	g.T("slli $t2, $t2, 3")
+	g.T("add  $t2, $s2, $t2")
+	g.T("fld  $f5, 0($t2) !nonlocal")
+	g.T("fadd $f4, $f4, $f5")
+	g.T("addi $t0, $t0, 1")
+	g.T("li   $t1, %d", dim)
+	g.T("bne  $t0, $t1, %s", ck)
+	g.T("cvtfi $t3, $f4")
+	g.T("out  $t3")
+	g.T("halt")
+
+	stencil := func(name string, dst, srcA, srcB string) {
+		// dst[i][j] = 0.5*(srcA[i][j] + 0.5*(srcB[i-1][j]+srcB[i][j+1]))
+		// over the interior, flattened into one pointer-walk loop with
+		// 2x unrolling.
+		g.fnBegin(name, 4, "ra")
+		g.T("li   $t0, %d", dim*(dim-2)-2)
+		g.T("srli $t0, $t0, 1") // pairs
+		g.T("li   $t1, %d", rowBytes+8)
+		g.T("add  $t2, %s, $t1", dst)
+		g.T("add  $t3, %s, $t1", srcA)
+		g.T("add  $t4, %s, $t1", srcB)
+		l := g.label(name + "_l")
+		g.L(l)
+		for u := 0; u < 2; u++ {
+			off := u * 8
+			g.T("fld  $f1, %d($t3) !nonlocal", off)
+			g.T("fld  $f2, %d($t4) !nonlocal", off-rowBytes)
+			g.T("fld  $f3, %d($t4) !nonlocal", off+8)
+			g.T("fadd $f5, $f2, $f3")
+			g.T("fmul $f5, $f5, $f10")
+			g.T("fadd $f5, $f5, $f1")
+			g.T("fmul $f5, $f5, $f10")
+			g.T("fsd  $f5, %d($t2) !nonlocal", off)
+		}
+		g.T("addi $t2, $t2, 16")
+		g.T("addi $t3, $t3, 16")
+		g.T("addi $t4, $t4, 16")
+		g.T("addi $t0, $t0, -1")
+		g.T("bnez $t0, %s", l)
+		g.fnEnd(4, "ra")
+	}
+	stencil("calc1", "$s2", "$s0", "$s1") // p from u, v
+	stencil("calc2", "$s0", "$s1", "$s2") // u from v, p
+
+	return g.source()
+}

@@ -1,0 +1,146 @@
+package workload
+
+func init() {
+	register(Workload{
+		Name:       "tomcatv",
+		PaperName:  "101.tomcatv",
+		Kind:       FloatingPoint,
+		PaperInsts: "549M",
+		Description: "Vectorized mesh-generation stand-in: Jacobi-style " +
+			"5-point relaxation sweeps over two 64x64 double-precision " +
+			"grids (64 KB working set, larger than the L1). Calibrated " +
+			"like the paper's FP codes: long stretches of pure global " +
+			"FP traffic with stack activity only at (rare) row-function " +
+			"boundaries, so local and non-local accesses interleave " +
+			"poorly and (2+2) buys little over (2+0) (§4.3).",
+		build: buildTomcatv,
+	})
+}
+
+func buildTomcatv(scale float64, seed uint64) string {
+	g := newGen()
+	sweeps := scaled(10, scale)
+	const dim = 64
+	const rowBytes = dim * 8
+
+	g.D("gx:     .space %d", dim*dim*8)
+	g.D("gy:     .space %d", dim*dim*8)
+
+	g.L("main")
+	// Seed gy with a smooth ramp: gy[i][j] = i + 2*j (as doubles).
+	g.T("la   $s0, gx")
+	g.T("la   $s1, gy")
+	g.T("li   $t0, 0") // i
+	seedI := g.label("seed_i")
+	seedJ := g.label("seed_j")
+	g.L(seedI)
+	g.T("li   $t1, 0") // j
+	g.L(seedJ)
+	g.T("li   $t2, %d", dim)
+	g.T("mul  $t3, $t0, $t2")
+	g.T("add  $t3, $t3, $t1")
+	g.T("slli $t3, $t3, 3")
+	g.T("add  $t3, $s1, $t3")
+	g.T("slli $t4, $t1, 1")
+	g.T("add  $t4, $t4, $t0")
+	g.T("addi $t4, $t4, %d", int32(seed%17)) // boundary values (input data)
+	g.T("cvtif $f0, $t4")
+	g.T("fsd  $f0, 0($t3) !nonlocal")
+	g.T("addi $t1, $t1, 1")
+	g.T("li   $t2, %d", dim)
+	g.T("bne  $t1, $t2, %s", seedJ)
+	g.T("addi $t0, $t0, 1")
+	g.T("li   $t2, %d", dim)
+	g.T("bne  $t0, $t2, %s", seedI)
+
+	// 0.25 constant.
+	g.T("li   $t5, 1")
+	g.T("cvtif $f10, $t5")
+	g.T("li   $t5, 4")
+	g.T("cvtif $f11, $t5")
+	g.T("fdiv $f10, $f10, $f11") // 0.25
+
+	g.loop("s2", sweeps, func() {
+		// One sweep: for each interior row call relaxrow(i), then swap
+		// roles by copying back.
+		g.T("li   $s3, 1")
+		rs := g.label("rows")
+		g.L(rs)
+		g.T("move $a0, $s3")
+		g.T("jal  relaxrow")
+		g.T("addi $s3, $s3, 1")
+		g.T("li   $t0, %d", dim-1)
+		g.T("bne  $s3, $t0, %s", rs)
+		g.T("jal  copyback")
+	})
+
+	// Checksum: sum of a diagonal stripe.
+	g.T("li   $t0, 0")
+	g.T("fsub $f4, $f4, $f4") // 0.0
+	ck := g.label("ck")
+	g.L(ck)
+	g.T("li   $t1, %d", dim+1)
+	g.T("mul  $t2, $t0, $t1")
+	g.T("slli $t2, $t2, 3")
+	g.T("add  $t2, $s1, $t2")
+	g.T("fld  $f5, 0($t2) !nonlocal")
+	g.T("fadd $f4, $f4, $f5")
+	g.T("addi $t0, $t0, 1")
+	g.T("li   $t1, %d", dim)
+	g.T("bne  $t0, $t1, %s", ck)
+	g.T("cvtfi $t3, $f4")
+	g.T("out  $t3")
+	g.T("halt")
+
+	// relaxrow(i): gx[i][j] = 0.25*(gy[i-1][j]+gy[i+1][j]+gy[i][j-1]+
+	// gy[i][j+1]) for interior j. Frame 6 words with one FP spill slot
+	// (the only stack traffic in the hot phase).
+	g.fnBegin("relaxrow", 6, "ra", "s4")
+	g.T("li   $t0, %d", dim)
+	g.T("mul  $t1, $a0, $t0")
+	g.T("slli $t1, $t1, 3")
+	g.T("add  $s4, $s1, $t1") // &gy[i][0]
+	g.T("add  $t9, $s0, $t1") // &gx[i][0]
+	g.T("fsub $f7, $f7, $f7") // row residual
+	g.T("li   $t2, 1")        // j
+	jl := g.label("relax_j")
+	g.L(jl)
+	g.T("slli $t3, $t2, 3")
+	g.T("add  $t4, $s4, $t3")
+	g.T("fld  $f1, %d($t4) !nonlocal", -rowBytes) // north
+	g.T("fld  $f2, %d($t4) !nonlocal", rowBytes)  // south
+	g.T("fld  $f3, -8($t4) !nonlocal")            // west
+	g.T("fld  $f5, 8($t4) !nonlocal")             // east
+	g.T("fadd $f6, $f1, $f2")
+	g.T("fadd $f8, $f3, $f5")
+	g.T("fadd $f6, $f6, $f8")
+	g.T("fmul $f6, $f6, $f10")
+	g.T("add  $t6, $t9, $t3")
+	g.T("fsd  $f6, 0($t6) !nonlocal")
+	g.T("fadd $f7, $f7, $f6")
+	g.T("addi $t2, $t2, 1")
+	g.T("li   $t7, %d", dim-1)
+	g.T("bne  $t2, $t7, %s", jl)
+	g.T("fsd  $f7, 0($sp) !local") // spill residual
+	g.T("fld  $f7, 0($sp) !local")
+	g.fnEnd(6, "ra", "s4")
+
+	// copyback: gy <- gx over the interior.
+	g.fnBegin("copyback", 3, "ra")
+	g.T("li   $t0, %d", dim)
+	g.T("li   $t1, %d", dim*(dim-1))
+	g.T("slli $t2, $t0, 3")
+	g.T("add  $t3, $s0, $t2") // src cursor (skip row 0)
+	g.T("add  $t4, $s1, $t2")
+	cbl := g.label("cb")
+	g.L(cbl)
+	g.T("fld  $f0, 0($t3) !nonlocal")
+	g.T("fsd  $f0, 0($t4) !nonlocal")
+	g.T("addi $t3, $t3, 8")
+	g.T("addi $t4, $t4, 8")
+	g.T("addi $t1, $t1, -1")
+	g.T("bnez $t1, %s", cbl)
+	g.fnEnd(3, "ra")
+
+	return g.source()
+}

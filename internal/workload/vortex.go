@@ -1,0 +1,120 @@
+package workload
+
+func init() {
+	register(Workload{
+		Name:       "vortex",
+		PaperName:  "147.vortex",
+		Kind:       Integer,
+		PaperInsts: "284M",
+		Description: "Object-database stand-in: each transaction runs " +
+			"through a stack of layered small procedures (validate → " +
+			"lookup → update → log), each saving and restoring many " +
+			"registers and passing arguments through the stack. " +
+			"Calibrated to the paper's extreme: >60% of loads and >80% " +
+			"of stores are local (71% of all references), with bursty " +
+			"contiguous save/restore runs — the program that gains most " +
+			"from access combining (26% under (3+1), Figure 8).",
+		build: buildVortex,
+	})
+}
+
+func buildVortex(scale float64, seed uint64) string {
+	g := newGen()
+	transactions := scaled(5500, scale)
+	const records = 2048 // 16-word records = 128 KB
+
+	g.D("db:     .space %d", records*64)
+	g.D("txlog:  .space 16384")
+
+	g.L("main")
+	g.T("la   $s6, db")
+	g.T("la   $s5, txlog")
+	g.T("li   $s7, %d", int32(seed%1021)) // checksum baseline (input data)
+	g.loop("s4", transactions, func() {
+		g.T("move $a0, $s4")
+		g.T("jal  transaction")
+		g.T("add  $s7, $s7, $v0")
+	})
+	g.T("out  $s7")
+	g.T("halt")
+
+	// transaction(id): the top of the call stack. Saves 7 registers —
+	// a contiguous burst of local stores at entry and local loads at
+	// exit.
+	g.fnBegin("transaction", 12, "ra", "s0", "s1", "s2", "s3", "s4", "s5")
+	g.T("andi $s0, $a0, %d", records-1) // slot
+	g.T("slli $t0, $s0, 6")
+	g.T("add  $s1, $s6, $t0") // record address
+	// Pass the record pointer and id through the stack (offsets 0 and 4
+	// are below the save area).
+	g.T("sw   $s1, 0($sp) !local")
+	g.T("sw   $a0, 4($sp) !local")
+	g.T("move $a0, $s1")
+	g.T("jal  validate")
+	g.T("move $s2, $v0")
+	g.T("lw   $a0, 0($sp) !local")
+	g.T("jal  update")
+	g.T("add  $s2, $s2, $v0")
+	g.T("lw   $a0, 4($sp) !local")
+	g.T("move $a1, $s2")
+	g.T("jal  logtx")
+	g.T("move $v0, $s2")
+	g.fnEnd(12, "ra", "s0", "s1", "s2", "s3", "s4", "s5")
+
+	// validate(rec): checks four fields, delegating the checksum of the
+	// first two to a leaf.
+	g.fnBegin("validate", 10, "ra", "s0", "s1", "s2", "s3")
+	g.T("move $s0, $a0")
+	g.T("lw   $s1, 0($a0) !nonlocal")
+	g.T("lw   $s2, 4($a0) !nonlocal")
+	g.T("sw   $s1, 0($sp) !local") // scratch spills
+	g.T("sw   $s2, 4($sp) !local")
+	g.T("jal  fieldsum")
+	g.T("lw   $t0, 0($sp) !local")
+	g.T("lw   $t1, 4($sp) !local")
+	g.T("add  $v0, $v0, $t0")
+	g.T("add  $v0, $v0, $t1")
+	g.fnEnd(10, "ra", "s0", "s1", "s2", "s3")
+
+	// fieldsum(rec): leaf with a tiny frame — the most frequent dynamic
+	// frame size must stay small (Figure 3).
+	g.fnBegin("fieldsum", 2, "ra")
+	g.T("lw   $t0, 8($a0) !nonlocal")
+	g.T("lw   $t1, 12($a0) !nonlocal")
+	g.T("lw   $t2, 16($a0) !nonlocal")
+	g.T("lw   $t3, 20($a0) !nonlocal")
+	g.T("add  $t0, $t0, $t1")
+	g.T("add  $t2, $t2, $t3")
+	g.T("add  $v0, $t0, $t2")
+	g.fnEnd(2, "ra")
+
+	// update(rec): read-modify-write six fields with intermediate spills.
+	g.fnBegin("update", 12, "ra", "s0", "s1", "s2", "s3", "s4")
+	g.T("move $s0, $a0")
+	for i := 0; i < 6; i++ {
+		g.T("lw   $t0, %d($s0) !nonlocal", 4*i)
+		g.T("addi $t0, $t0, %d", i+1)
+		g.T("sw   $t0, %d($sp) !local", 4*i) // spill
+	}
+	g.T("li   $s1, 0")
+	for i := 0; i < 6; i++ {
+		g.T("lw   $t1, %d($sp) !local", 4*i) // reload
+		g.T("sw   $t1, %d($s0) !nonlocal", 4*i)
+		g.T("add  $s1, $s1, $t1")
+	}
+	g.T("move $v0, $s1")
+	g.fnEnd(12, "ra", "s0", "s1", "s2", "s3", "s4")
+
+	// logtx(id, value): append four words to a circular log.
+	g.fnBegin("logtx", 8, "ra", "s0", "s1")
+	g.T("andi $t0, $a0, 1023")
+	g.T("slli $t0, $t0, 4")
+	g.T("add  $t0, $s5, $t0")
+	g.T("sw   $a0, 0($t0) !nonlocal")
+	g.T("sw   $a1, 4($t0) !nonlocal")
+	g.T("sw   $a0, 8($t0) !nonlocal")
+	g.T("sw   $a1, 12($t0) !nonlocal")
+	g.fnEnd(8, "ra", "s0", "s1")
+
+	return g.source()
+}

@@ -1,0 +1,153 @@
+// Package workload provides the benchmark programs used to reproduce the
+// paper's evaluation.
+//
+// SPEC95 binaries (compiled with EGCS 1.1b -O3, Table 2) are not
+// obtainable, so each of the twelve programs is replaced by a synthetic
+// program written for the simulator's ISA and calibrated to the
+// characteristics the paper reports for it, because those characteristics —
+// not the program semantics — drive the results:
+//
+//   - the load/store instruction frequencies and the fraction of them that
+//     reference the run-time stack (Figure 2),
+//   - the dynamic frame-size distribution (Figure 3; dynamic mean ≈ 3
+//     words, static mean ≈ 7 words, a 282-word outlier, and m88ksim's two
+//     11K-word giants),
+//   - call depth and call frequency (bursty save/restore traffic),
+//   - data working-set sizes (L1/L2 miss behaviour), and
+//   - how well local and non-local accesses interleave (the FP programs
+//     interleave poorly, which is why (2+2) ≈ (2+0) for them, §4.3).
+//
+// Every program is deterministic, halts, and emits a checksum through OUT
+// so the timing core can be verified against the functional emulator.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/asm"
+)
+
+// Kind distinguishes the integer and floating-point suites.
+type Kind uint8
+
+const (
+	Integer Kind = iota
+	FloatingPoint
+)
+
+func (k Kind) String() string {
+	if k == FloatingPoint {
+		return "fp"
+	}
+	return "int"
+}
+
+// Workload is one benchmark program generator.
+type Workload struct {
+	// Name is the short name ("go", "li", ...).
+	Name string
+	// PaperName is the SPEC95 program it stands in for ("099.go", ...).
+	PaperName string
+	Kind      Kind
+	// Description summarizes the synthetic program and what it is
+	// calibrated to.
+	Description string
+	// PaperInsts is the dynamic instruction count the paper reports
+	// (Table 2), for the Table 2 reproduction.
+	PaperInsts string
+	// build generates the program; scale multiplies the dynamic
+	// instruction count (1.0 ≈ full experiment size) and seed varies the
+	// *input data* (never the program structure — frames, call graph and
+	// instruction mix are part of the program, like a SPEC binary).
+	build func(scale float64, seed uint64) string
+}
+
+// DefaultSeed is the input used by Program (the paper's Table 2 input).
+const DefaultSeed = 1
+
+// Program assembles the workload at the given scale with the default
+// input. Generation is deterministic.
+func (w Workload) Program(scale float64) *asm.Program {
+	return w.ProgramSeeded(scale, DefaultSeed)
+}
+
+// ProgramSeeded assembles the workload with an alternative input seed:
+// the data values change, the program structure does not (used by the
+// §4.2.1 input-sensitivity experiment).
+func (w Workload) ProgramSeeded(scale float64, seed uint64) *asm.Program {
+	if scale <= 0 {
+		scale = 1
+	}
+	return asm.MustAssemble(w.Name+".s", w.build(scale, seed))
+}
+
+// Source returns the generated assembly text at the given scale.
+func (w Workload) Source(scale float64) string {
+	if scale <= 0 {
+		scale = 1
+	}
+	return w.build(scale, DefaultSeed)
+}
+
+var registry []Workload
+
+func register(w Workload) {
+	registry = append(registry, w)
+}
+
+// All returns every workload: the eight integer programs followed by the
+// four floating-point programs, in the paper's order.
+func All() []Workload {
+	out := make([]Workload, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].PaperName < out[j].PaperName
+	})
+	return out
+}
+
+// Integers returns the integer suite in paper order.
+func Integers() []Workload { return filter(Integer) }
+
+// Floats returns the floating-point suite in paper order.
+func Floats() []Workload { return filter(FloatingPoint) }
+
+func filter(k Kind) []Workload {
+	var out []Workload
+	for _, w := range All() {
+		if w.Kind == k {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// ByName looks a workload up by short name or paper name.
+func ByName(name string) (Workload, error) {
+	for _, w := range registry {
+		if w.Name == name || w.PaperName == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Names returns the short names in paper order.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, w := range all {
+		names[i] = w.Name
+	}
+	return names
+}
+
+// scaled returns max(1, round(n*scale)).
+func scaled(n int, scale float64) int {
+	v := int(float64(n)*scale + 0.5)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}

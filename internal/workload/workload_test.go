@@ -1,0 +1,324 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/profile"
+)
+
+// testScale keeps workload unit tests fast.
+const testScale = 0.05
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 12 {
+		t.Fatalf("registry has %d workloads, want 12", len(all))
+	}
+	if len(Integers()) != 8 {
+		t.Errorf("%d integer programs, want 8", len(Integers()))
+	}
+	if len(Floats()) != 4 {
+		t.Errorf("%d fp programs, want 4", len(Floats()))
+	}
+	seen := map[string]bool{}
+	for _, w := range all {
+		if w.Name == "" || w.PaperName == "" || w.Description == "" || w.PaperInsts == "" {
+			t.Errorf("workload %q has missing metadata", w.Name)
+		}
+		if seen[w.Name] {
+			t.Errorf("duplicate workload %q", w.Name)
+		}
+		seen[w.Name] = true
+	}
+}
+
+func TestByName(t *testing.T) {
+	if w, err := ByName("li"); err != nil || w.PaperName != "130.li" {
+		t.Errorf("ByName(li) = %v, %v", w.PaperName, err)
+	}
+	if w, err := ByName("147.vortex"); err != nil || w.Name != "vortex" {
+		t.Errorf("ByName(147.vortex) = %v, %v", w.Name, err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestAllProgramsAssembleAndHalt(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			prog := w.Program(testScale)
+			m := emu.New(prog)
+			halted, err := m.Run(80_000_000)
+			if err != nil {
+				t.Fatalf("%s: %v", w.Name, err)
+			}
+			if !halted {
+				t.Fatalf("%s did not halt (%d insts)", w.Name, m.InstCount)
+			}
+			if len(m.Output) == 0 {
+				t.Errorf("%s produced no output checksum", w.Name)
+			}
+			if m.InstCount < 1000 {
+				t.Errorf("%s ran only %d instructions", w.Name, m.InstCount)
+			}
+		})
+	}
+}
+
+func TestGenerationDeterministic(t *testing.T) {
+	for _, w := range All() {
+		if w.Source(0.1) != w.Source(0.1) {
+			t.Errorf("%s: generation is not deterministic", w.Name)
+		}
+	}
+	// And execution is too.
+	w, _ := ByName("compress")
+	m1 := emu.New(w.Program(testScale))
+	m2 := emu.New(w.Program(testScale))
+	m1.Run(0)
+	m2.Run(0)
+	if len(m1.Output) == 0 || m1.Output[0] != m2.Output[0] {
+		t.Error("compress output not reproducible")
+	}
+}
+
+func TestScaleControlsInstructionCount(t *testing.T) {
+	w, _ := ByName("vortex")
+	small := emu.New(w.Program(0.02))
+	big := emu.New(w.Program(0.08))
+	small.Run(0)
+	big.Run(0)
+	if big.InstCount < 2*small.InstCount {
+		t.Errorf("scale 0.08 (%d insts) not ≥2x scale 0.02 (%d insts)",
+			big.InstCount, small.InstCount)
+	}
+}
+
+// profiles caches per-workload profiles for the calibration tests.
+var profCache = map[string]*profile.Profile{}
+
+func prof(t *testing.T, name string) *profile.Profile {
+	t.Helper()
+	if p, ok := profCache[name]; ok {
+		return p
+	}
+	w, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := profile.Run(w.Program(testScale), 0)
+	if err != nil {
+		t.Fatalf("profile %s: %v", name, err)
+	}
+	profCache[name] = p
+	return p
+}
+
+// Calibration: the paper's headline workload characteristics (§2.2.1).
+
+func TestCalibrationVortexIsMostLocal(t *testing.T) {
+	v := prof(t, "vortex")
+	if f := v.LocalFraction(); f < 0.55 {
+		t.Errorf("vortex local fraction = %.2f, want > 0.55 (paper: 71%%)", f)
+	}
+	for _, name := range []string{"compress", "tomcatv", "swim", "mgrid"} {
+		if o := prof(t, name); o.LocalFraction() >= v.LocalFraction() {
+			t.Errorf("%s local fraction %.2f >= vortex %.2f", name,
+				o.LocalFraction(), v.LocalFraction())
+		}
+	}
+}
+
+func TestCalibrationCompressHasLowLocalShare(t *testing.T) {
+	p := prof(t, "compress")
+	if f := p.LocalFraction(); f > 0.20 {
+		t.Errorf("compress local fraction = %.2f, want <= 0.20 (paper: ~10%%)", f)
+	}
+}
+
+func TestCalibrationFPProgramsHaveLowLocalShare(t *testing.T) {
+	for _, name := range []string{"tomcatv", "swim", "mgrid"} {
+		p := prof(t, name)
+		if f := p.LocalFraction(); f > 0.25 {
+			t.Errorf("%s local fraction = %.2f, want small", name, f)
+		}
+	}
+	// su2cor is the best-interleaved FP program: more local than the rest.
+	su := prof(t, "su2cor").LocalFraction()
+	if su <= prof(t, "mgrid").LocalFraction() {
+		t.Errorf("su2cor (%.2f) should have more local traffic than mgrid", su)
+	}
+}
+
+func TestCalibrationMemoryFrequencies(t *testing.T) {
+	// Loads should be roughly 15-35% of instructions, stores 4-20%
+	// (Figure 2's range), for every program.
+	for _, w := range All() {
+		p := prof(t, w.Name)
+		if lf := p.LoadFreq(); lf < 0.10 || lf > 0.42 {
+			t.Errorf("%s load frequency = %.2f, outside Figure 2 range", w.Name, lf)
+		}
+		if sf := p.StoreFreq(); sf < 0.02 || sf > 0.30 {
+			t.Errorf("%s store frequency = %.2f, outside Figure 2 range", w.Name, sf)
+		}
+	}
+}
+
+func TestCalibrationLiIsCallHeavy(t *testing.T) {
+	li := prof(t, "li")
+	liRate := float64(li.Calls) / float64(li.Insts)
+	for _, name := range []string{"compress", "tomcatv", "mgrid"} {
+		o := prof(t, name)
+		rate := float64(o.Calls) / float64(o.Insts)
+		if rate >= liRate {
+			t.Errorf("%s call rate %.4f >= li %.4f", name, rate, liRate)
+		}
+	}
+	if li.MaxCallDepth < 8 {
+		t.Errorf("li max call depth = %d, want deep recursion", li.MaxCallDepth)
+	}
+}
+
+func TestCalibrationFrameSizes(t *testing.T) {
+	// Integer-suite dynamic frames: small on average (paper: ~3 words;
+	// we accept < 16), static mean below 32 with a large outlier.
+	for _, w := range Integers() {
+		p := prof(t, w.Name)
+		if p.DynFrames.Total() == 0 {
+			t.Errorf("%s allocated no frames", w.Name)
+			continue
+		}
+		// ijpeg's 8x8 kernel legitimately carries a 70-word block
+		// buffer; gcc has the widest frame spread in the suite with its
+		// 282-word giant on every statement's chain.
+		limit := 16.0
+		switch w.Name {
+		case "ijpeg":
+			limit = 80
+		case "gcc":
+			limit = 48
+		}
+		if mean := p.DynFrames.Mean(); mean > limit {
+			t.Errorf("%s dynamic mean frame = %.1f words, want <= %.0f", w.Name, mean, limit)
+		}
+	}
+	if max := prof(t, "gcc").StaticFrames().Max(); max != 282 {
+		t.Errorf("gcc largest static frame = %d words, want the paper's 282", max)
+	}
+	if max := prof(t, "m88ksim").StaticFrames().Max(); max < 11000 {
+		t.Errorf("m88ksim giant frame = %d words, want ~11K (§2.2.3)", max)
+	}
+}
+
+func TestCalibrationSPIndexedShare(t *testing.T) {
+	// Paper: <5% of stack references are not $sp/$fp-indexed. Our suite
+	// has a few (ijpeg's buffer walks, perl's sort), but the share must
+	// stay small overall.
+	var sp, local uint64
+	for _, w := range All() {
+		p := prof(t, w.Name)
+		sp += p.SPIndexedLocal
+		local += p.LocalRefs()
+	}
+	if local == 0 {
+		t.Fatal("no local refs at all")
+	}
+	if frac := float64(sp) / float64(local); frac < 0.80 {
+		t.Errorf("sp-indexed share = %.2f of local refs, want > 0.80", frac)
+	}
+}
+
+func TestCalibrationAmbiguousAccessesRare(t *testing.T) {
+	// Paper §2.2.3: <1% of static memory instructions ambiguous; we
+	// allow a little more but they must be rare.
+	for _, w := range All() {
+		p := prof(t, w.Name)
+		total := p.HintedMemPCs + p.UnhintedMemPCs
+		if total == 0 {
+			continue
+		}
+		if frac := float64(p.UnhintedMemPCs) / float64(total); frac > 0.06 {
+			t.Errorf("%s: %.1f%% of static memory instructions unhinted", w.Name, 100*frac)
+		}
+	}
+}
+
+func TestInputSeedsChangeDataNotStructure(t *testing.T) {
+	// Different input seeds must change the program's *output* (the data
+	// really differs) but not its text segment length or its frame
+	// layout — inputs are data, structure is the program.
+	for _, name := range []string{"compress", "li", "vortex", "gcc"} {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pa := w.ProgramSeeded(testScale, 1)
+		pb := w.ProgramSeeded(testScale, 7)
+		if len(pa.Text) != len(pb.Text) {
+			t.Errorf("%s: input seed changed the text segment (%d vs %d insts)",
+				name, len(pa.Text), len(pb.Text))
+		}
+		ma, mb := emu.New(pa), emu.New(pb)
+		ma.Run(0)
+		mb.Run(0)
+		if len(ma.Output) > 0 && len(mb.Output) > 0 && ma.Output[0] == mb.Output[0] {
+			t.Errorf("%s: outputs identical across inputs (%d)", name, ma.Output[0])
+		}
+	}
+}
+
+func TestLVCHitRateInputInsensitive(t *testing.T) {
+	// Paper §4.2.1: the LVC hit rate is relatively insensitive to input
+	// data. Spread across three inputs must stay under 1 percentage
+	// point for every integer program.
+	for _, w := range Integers() {
+		lo, hi := 100.0, 0.0
+		for _, seed := range []uint64{1, 7, 23} {
+			res, err := profile.SimulateLVC(w.ProgramSeeded(0.15, seed), 2048, 32, 1, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mr := 100 * res.Stats.MissRate()
+			if mr < lo {
+				lo = mr
+			}
+			if mr > hi {
+				hi = mr
+			}
+		}
+		if hi-lo > 1.0 {
+			t.Errorf("%s: LVC miss rate spread %.2fpp across inputs", w.Name, hi-lo)
+		}
+	}
+}
+
+func TestCalibrationLVCHitRates(t *testing.T) {
+	// Figure 6: a 2 KB direct-mapped LVC reaches >99% hit rate for
+	// everything except gcc, and gcc must be the worst integer program.
+	// Use a larger scale here: one-shot startup work (e.g. m88ksim's
+	// loadcore) must amortize as it does at full size.
+	worst, worstName := 0.0, ""
+	for _, w := range Integers() {
+		res, err := profile.SimulateLVC(w.Program(0.3), 2048, 32, 1, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if res.LocalRefs == 0 {
+			t.Errorf("%s: no local refs reached the LVC", w.Name)
+			continue
+		}
+		mr := res.Stats.MissRate()
+		if mr > worst {
+			worst, worstName = mr, w.Name
+		}
+		if w.Name != "gcc" && mr > 0.01 {
+			t.Errorf("%s: 2KB LVC miss rate %.3f%%, want < 1%%", w.Name, 100*mr)
+		}
+	}
+	if worstName != "gcc" {
+		t.Errorf("worst 2KB LVC miss rate is %s (%.3f%%), paper says 126.gcc", worstName, 100*worst)
+	}
+}
