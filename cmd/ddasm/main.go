@@ -5,6 +5,7 @@
 //
 //	ddasm -d program.s             # assemble and disassemble
 //	ddasm -run program.s           # assemble and emulate, print OUT trace
+//	ddasm -lint program.s          # run the static access-region linter
 //	ddasm -dump-workload li        # print a generated workload's source
 package main
 
@@ -13,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/analysis"
 	"repro/internal/asm"
 	"repro/internal/emu"
 	"repro/internal/workload"
@@ -22,6 +24,7 @@ func main() {
 	var (
 		dis     = flag.Bool("d", false, "print disassembly")
 		run     = flag.Bool("run", false, "run on the functional emulator")
+		lint    = flag.Bool("lint", false, "run the static access-region linter")
 		maxInst = flag.Uint64("maxinst", 100_000_000, "emulation instruction budget")
 		dumpW   = flag.String("dump-workload", "", "print a workload's generated assembly and exit")
 		scale   = flag.Float64("scale", 0.1, "scale for -dump-workload")
@@ -54,6 +57,16 @@ func main() {
 
 	if *dis {
 		fmt.Print(prog.Disassemble())
+	}
+	if *lint {
+		res := analysis.Analyze(prog)
+		for _, d := range res.Diags {
+			fmt.Println(d)
+		}
+		fmt.Println(res.Summarize())
+		if len(res.Diags) > 0 {
+			os.Exit(1)
+		}
 	}
 	if *run {
 		m := emu.New(prog)

@@ -1,0 +1,114 @@
+// Command ddlint runs the static access-region analyzer over assembled
+// programs and reports lint findings: steering hints the analysis proves
+// wrong, unbalanced $sp adjustments, stack addresses escaping to non-stack
+// memory, and statically out-of-frame accesses.
+//
+// Usage:
+//
+//	ddlint program.s ...           # lint assembly files
+//	ddlint -w li                   # lint one generated workload
+//	ddlint -workloads              # lint all generated workloads
+//	ddlint -json program.s         # machine-readable findings
+//	ddlint -dump program.s         # also print per-access classification
+//
+// Exit status: 0 when no findings, 1 when any finding is reported,
+// 2 on usage or assembly errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/asm"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		jsonOut  = flag.Bool("json", false, "emit findings as JSON")
+		dump     = flag.Bool("dump", false, "print the per-access classification table")
+		wName    = flag.String("w", "", "lint the named generated workload instead of files")
+		allW     = flag.Bool("workloads", false, "lint every generated workload")
+		scale    = flag.Float64("scale", 0.1, "scale for generated workloads")
+		warnOnly = flag.Bool("errors-only", false, "report only error-severity findings")
+	)
+	flag.Parse()
+
+	var progs []*asm.Program
+	switch {
+	case *allW:
+		for _, w := range workload.All() {
+			progs = append(progs, w.Program(*scale))
+		}
+	case *wName != "":
+		w, err := workload.ByName(*wName)
+		if err != nil {
+			usageErr(err)
+		}
+		progs = append(progs, w.Program(*scale))
+	default:
+		if flag.NArg() == 0 {
+			usageErr(fmt.Errorf("need assembly files, -w <workload>, or -workloads"))
+		}
+		for _, path := range flag.Args() {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				usageErr(err)
+			}
+			prog, err := asm.Assemble(path, string(src))
+			if err != nil {
+				usageErr(err)
+			}
+			progs = append(progs, prog)
+		}
+	}
+
+	found := 0
+	var jsonDiags []any
+	for _, prog := range progs {
+		res := analysis.Analyze(prog)
+		diags := res.Diags
+		if *warnOnly {
+			diags = res.Errors()
+		}
+		for _, d := range diags {
+			found++
+			if *jsonOut {
+				j := d.JSONForm()
+				jsonDiags = append(jsonDiags, struct {
+					Program string `json:"program"`
+					Diag    any    `json:"finding"`
+				}{prog.Name, j})
+			} else {
+				fmt.Printf("%s:%s\n", prog.Name, d)
+			}
+		}
+		if !*jsonOut {
+			fmt.Printf("%s: %s\n", prog.Name, res.Summarize())
+			if *dump {
+				fmt.Print(res.Report())
+			}
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if jsonDiags == nil {
+			jsonDiags = []any{}
+		}
+		if err := enc.Encode(jsonDiags); err != nil {
+			usageErr(err)
+		}
+	}
+	if found > 0 {
+		os.Exit(1)
+	}
+}
+
+func usageErr(err error) {
+	fmt.Fprintln(os.Stderr, "ddlint:", err)
+	os.Exit(2)
+}

@@ -27,7 +27,7 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "workload scale factor")
 		opt     = flag.Bool("opt", false, "enable fast data forwarding and 2-way combining")
 		combine = flag.Int("combine", 0, "access combining width (overrides -opt's 2)")
-		steer   = flag.String("steer", "hint", "steering policy: hint, sp, oracle")
+		steer   = flag.String("steer", "hint", "steering policy: hint, sp, oracle, dual, static")
 		maxInst = flag.Uint64("maxinst", 0, "commit budget (0 = run to halt)")
 		list    = flag.Bool("list", false, "list available workloads and exit")
 		traceN  = flag.Int("trace", 0, "print a pipeline trace of the first N instructions")
@@ -59,6 +59,10 @@ func main() {
 		cfg.Steering = config.SteerSP
 	case "oracle":
 		cfg.Steering = config.SteerOracle
+	case "dual":
+		cfg.Steering = config.SteerDual
+	case "static":
+		cfg.Steering = config.SteerStatic
 	default:
 		fatal(fmt.Errorf("unknown steering policy %q", *steer))
 	}

@@ -1,0 +1,18 @@
+# Deliberately wrong steering hint: the load reads a global but claims
+# !local, so hint steering misroutes it into the local stream on every
+# execution and pays the squash-and-replay penalty. `ddlint` exits 1 here
+# with an unsound-local-hint error — keep this file as the linter's
+# negative example (the lint test asserts it stays broken).
+	.text
+	.global main
+main:
+	la   $t0, counter
+	lw   $t1, 0($t0) !local
+	addi $t1, $t1, 1
+	sw   $t1, 0($t0) !nonlocal
+	out  $t1
+	halt
+
+	.data
+counter:
+	.word 41

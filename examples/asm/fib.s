@@ -1,0 +1,31 @@
+# Naive recursive fib — the quickstart example as a standalone source
+# file. Every call pushes a small frame: pure local-variable traffic,
+# annotated with sound !local hints (check with `ddlint examples/asm/fib.s`).
+	.text
+	.global main
+main:
+	li   $a0, 18
+	jal  fib
+	out  $v0
+	halt
+
+fib:
+	addi $sp, $sp, -12
+	sw   $ra, 8($sp) !local
+	sw   $s0, 4($sp) !local
+	sw   $a0, 0($sp) !local
+	li   $v0, 1
+	slti $t0, $a0, 2
+	bnez $t0, done
+	addi $a0, $a0, -1
+	jal  fib
+	move $s0, $v0
+	lw   $a0, 0($sp) !local
+	addi $a0, $a0, -2
+	jal  fib
+	add  $v0, $v0, $s0
+done:
+	lw   $s0, 4($sp) !local
+	lw   $ra, 8($sp) !local
+	addi $sp, $sp, 12
+	jr   $ra

@@ -1,0 +1,28 @@
+# Sum a global array through a walked pointer. The loads are non-local
+# (data segment) and hinted as such; the spill slots are local. The
+# analyzer proves both sides, so `ddlint examples/asm/sumarray.s` is clean
+# and `ddasm -lint` agrees with the hints.
+	.text
+	.global main
+main:
+	addi $sp, $sp, -8
+	sw   $s0, 0($sp) !local
+	sw   $s1, 4($sp) !local
+	la   $s0, arr
+	li   $s1, 16
+	li   $v0, 0
+loop:
+	lw   $t0, 0($s0) !nonlocal
+	add  $v0, $v0, $t0
+	addi $s0, $s0, 4
+	addi $s1, $s1, -1
+	bnez $s1, loop
+	lw   $s0, 0($sp) !local
+	lw   $s1, 4($sp) !local
+	addi $sp, $sp, 8
+	out  $v0
+	halt
+
+	.data
+arr:
+	.word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16

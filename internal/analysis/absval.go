@@ -1,0 +1,409 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+)
+
+// The abstract domain tracks, for every integer register, what is known
+// about the value it holds:
+//
+//   - kRange: a pure number (or non-stack pointer) within known signed
+//     32-bit bounds. A constant is a degenerate range (lo == hi).
+//   - kStack: a stack-derived pointer, entry-$sp + delta for the current
+//     function's incoming $sp. The delta is exact when deltaOK is set;
+//     otherwise the value is known stack-derived but its offset differs
+//     across paths (e.g. an incoming $fp, or a join of unequal $sp
+//     adjustments).
+//   - kUnknown: anything (in particular, every value produced by a load,
+//     since a stack address may have been stored to memory earlier).
+//
+// Soundness stance: a Local classification is only made from kStack values
+// with a known, negative frame offset (the address is strictly below the
+// function's incoming $sp, hence inside the stack region as long as frames
+// fit in the 16 MB stack area). A NonLocal classification is only made from
+// kRange values whose entire address range misses the stack region; ranges
+// are widened into the "safe zone" below StackLimit (with an immGuard
+// margin for the ±32 K displacement field) so that pointers walked through
+// loops keep a sound non-stack proof.
+type kind uint8
+
+const (
+	kUnknown kind = iota
+	kRange
+	kStack
+)
+
+// immGuard is the margin kept between the widened non-stack zone and the
+// stack region, covering any 16-bit signed displacement plus the widest
+// access.
+const immGuard = 1 << 16
+
+// zoneMax is the top of the "safely non-stack" widening zone: any signed
+// value v <= zoneMax satisfies uint32(v+imm) outside the stack region for
+// every |imm| < immGuard (negative values map to addresses >= 2^31, which
+// are above StackBase).
+const zoneMax = int64(isa.StackLimit) - immGuard
+
+type absVal struct {
+	k       kind
+	lo, hi  int64 // kRange bounds (signed 32-bit values)
+	delta   int32 // kStack offset from the function's entry $sp
+	deltaOK bool
+	def     uint32 // pc of the defining instruction (0 = entry/merged)
+}
+
+func unknownVal() absVal { return absVal{} }
+
+func constVal(c int32, def uint32) absVal {
+	return absVal{k: kRange, lo: int64(c), hi: int64(c), def: def}
+}
+
+// rangeVal builds a kRange value, falling back to unknown when the bounds
+// do not fit a signed 32-bit value (the emulator wraps, so a wrapped range
+// is meaningless).
+func rangeVal(lo, hi int64, def uint32) absVal {
+	if lo > hi || lo < math.MinInt32 || hi > math.MaxInt32 {
+		return absVal{}
+	}
+	return absVal{k: kRange, lo: lo, hi: hi, def: def}
+}
+
+func stackVal(delta int32, def uint32) absVal {
+	return absVal{k: kStack, delta: delta, deltaOK: true, def: def}
+}
+
+// strideMax bounds the per-step increment under which the widened
+// non-stack zone is absorbing: a pointer deep inside the zone that
+// advances by at most ±4 KB per instruction is assumed not to march
+// across the 64 KB guard into the stack region. NonLocal classifications
+// are sound modulo this bounded-walk assumption; Local classifications
+// never rely on it.
+const strideMax = 1 << 12
+
+// isZone reports whether v is exactly the widened non-stack zone.
+func isZone(v absVal) bool {
+	return v.k == kRange && v.lo == math.MinInt32 && v.hi == zoneMax
+}
+
+// smallStride reports whether v is a range within ±strideMax.
+func smallStride(v absVal) bool {
+	return v.k == kRange && v.lo >= -strideMax && v.hi <= strideMax
+}
+
+func stackAnyVal() absVal { return absVal{k: kStack} }
+
+func (v absVal) isConst() bool { return v.k == kRange && v.lo == v.hi }
+
+// sameAbstract reports whether two values are equal ignoring provenance.
+func (v absVal) sameAbstract(o absVal) bool {
+	v.def, o.def = 0, 0
+	return v == o
+}
+
+// join is the lattice merge at control-flow joins.
+func join(a, b absVal) absVal {
+	if a.sameAbstract(b) {
+		if a.def != b.def {
+			a.def = 0
+		}
+		return a
+	}
+	switch {
+	case a.k == kStack && b.k == kStack:
+		return stackAnyVal() // stack-derived on both paths, offsets differ
+	case a.k == kRange && b.k == kRange:
+		return rangeVal(min(a.lo, b.lo), max(a.hi, b.hi), 0)
+	default:
+		return absVal{}
+	}
+}
+
+// widen accelerates convergence for values that keep changing at a join
+// point (loop-carried ranges): ranges inside the safe non-stack zone jump
+// to the whole zone, everything else gives up its bounds.
+func widen(v absVal) absVal {
+	if v.k == kRange && v.hi <= zoneMax {
+		return absVal{k: kRange, lo: math.MinInt32, hi: zoneMax}
+	}
+	if v.k == kStack {
+		return stackAnyVal()
+	}
+	return absVal{}
+}
+
+func (v absVal) String() string {
+	switch v.k {
+	case kRange:
+		if v.isConst() {
+			if v.lo >= 0 && v.lo >= 1<<16 {
+				return fmt.Sprintf("const %#x", uint32(int32(v.lo)))
+			}
+			return fmt.Sprintf("const %d", v.lo)
+		}
+		if v.lo == math.MinInt32 && v.hi == zoneMax {
+			return "non-stack value"
+		}
+		if v.lo >= 1<<16 {
+			return fmt.Sprintf("in [%#x, %#x]", uint64(v.lo), uint64(v.hi))
+		}
+		return fmt.Sprintf("in [%d, %d]", v.lo, v.hi)
+	case kStack:
+		if v.deltaOK {
+			return fmt.Sprintf("entry-$sp%+d", v.delta)
+		}
+		return "stack-derived (path-dependent offset)"
+	default:
+		return "unknown"
+	}
+}
+
+// regState is the abstract value of every integer register. Index i holds
+// GPR i; writes mirror emu.setGPR exactly (including the &31 masking of
+// out-of-range register numbers).
+type regState [32]absVal
+
+func (st *regState) get(r isa.Reg) absVal { return st[r&31] }
+
+func (st *regState) set(r isa.Reg, v absVal) {
+	if r != isa.RegZero { // mirrors emu.setGPR, masking included
+		st[r&31] = v
+	}
+}
+
+// calleeSaved reports whether GPR index i survives a procedure call under
+// the MIPS o32-flavoured convention the workloads follow: $s0-$s7, $gp,
+// $sp, $fp (and the hardwired zero).
+func calleeSaved(i int) bool {
+	return i == 0 || (i >= 16 && i <= 23) || i == 28 || i == 29 || i == 30
+}
+
+// clobberCall applies the ABI transfer for a procedure call: caller-saved
+// registers become unknown, callee-saved registers (including $sp/$fp, the
+// frame-balance assumption the linter checks separately) are preserved.
+// $ra is left alone: the caller set it to the return address, and a
+// returning callee must have preserved that value.
+func clobberCall(st *regState) {
+	for i := range st {
+		if !calleeSaved(i) && i != int(isa.RegRA) {
+			st[i] = absVal{}
+		}
+	}
+}
+
+// addVal models two's-complement addition. The widened non-stack zone is
+// absorbing under small strides so that loop-carried pointer walks
+// converge (see strideMax).
+func addVal(a, b absVal, def uint32) absVal {
+	switch {
+	case isZone(a) && smallStride(b):
+		return absVal{k: kRange, lo: a.lo, hi: a.hi, def: def}
+	case isZone(b) && smallStride(a):
+		return absVal{k: kRange, lo: b.lo, hi: b.hi, def: def}
+	case a.k == kRange && b.k == kRange:
+		return rangeVal(a.lo+b.lo, a.hi+b.hi, def)
+	case a.k == kStack && b.isConst():
+		return stackAdd(a, b.lo, def)
+	case b.k == kStack && a.isConst():
+		return stackAdd(b, a.lo, def)
+	}
+	return absVal{}
+}
+
+func subVal(a, b absVal, def uint32) absVal {
+	switch {
+	case isZone(a) && smallStride(b):
+		return absVal{k: kRange, lo: a.lo, hi: a.hi, def: def}
+	case a.k == kRange && b.k == kRange:
+		return rangeVal(a.lo-b.hi, a.hi-b.lo, def)
+	case a.k == kStack && b.isConst():
+		return stackAdd(a, -b.lo, def)
+	case a.k == kStack && b.k == kStack && a.deltaOK && b.deltaOK:
+		return constVal(a.delta-b.delta, def) // frame-pointer difference
+	}
+	return absVal{}
+}
+
+func stackAdd(a absVal, c int64, def uint32) absVal {
+	if !a.deltaOK {
+		return absVal{k: kStack, def: def}
+	}
+	d := int64(a.delta) + c
+	if d < math.MinInt32 || d > math.MaxInt32 {
+		return absVal{} // wrapped pointer arithmetic: give up
+	}
+	return stackVal(int32(d), def)
+}
+
+// step applies one instruction's effect on the abstract register state,
+// mirroring the destination-write behaviour of the emulator. Control flow
+// and memory classification are handled by the caller.
+func step(st *regState, pc uint32, in isa.Inst) {
+	switch in.Op {
+	case isa.ADDI:
+		st.set(in.Rd, addVal(st.get(in.Rs), constVal(in.Imm, 0), pc))
+	case isa.ADD:
+		st.set(in.Rd, addVal(st.get(in.Rs), st.get(in.Rt), pc))
+	case isa.SUB:
+		st.set(in.Rd, subVal(st.get(in.Rs), st.get(in.Rt), pc))
+	case isa.LUI:
+		st.set(in.Rd, constVal(in.Imm<<16, pc))
+
+	case isa.ANDI:
+		rs := st.get(in.Rs)
+		switch {
+		case rs.isConst():
+			st.set(in.Rd, constVal(int32(rs.lo)&in.Imm, pc))
+		case in.Imm >= 0:
+			st.set(in.Rd, rangeVal(0, int64(in.Imm), pc))
+		default:
+			st.set(in.Rd, unknownVal())
+		}
+	case isa.AND:
+		rs, rt := st.get(in.Rs), st.get(in.Rt)
+		switch {
+		case rs.isConst() && rt.isConst():
+			st.set(in.Rd, constVal(int32(rs.lo)&int32(rt.lo), pc))
+		case rs.isConst() && rs.lo >= 0:
+			st.set(in.Rd, rangeVal(0, rs.lo, pc))
+		case rt.isConst() && rt.lo >= 0:
+			st.set(in.Rd, rangeVal(0, rt.lo, pc))
+		default:
+			st.set(in.Rd, unknownVal())
+		}
+	case isa.ORI:
+		st.set(in.Rd, foldConst2(st.get(in.Rs), constVal(in.Imm, 0), pc,
+			func(a, b int32) int32 { return a | b }))
+	case isa.XORI:
+		st.set(in.Rd, foldConst2(st.get(in.Rs), constVal(in.Imm, 0), pc,
+			func(a, b int32) int32 { return a ^ b }))
+	case isa.OR:
+		st.set(in.Rd, foldConst2(st.get(in.Rs), st.get(in.Rt), pc,
+			func(a, b int32) int32 { return a | b }))
+	case isa.XOR:
+		st.set(in.Rd, foldConst2(st.get(in.Rs), st.get(in.Rt), pc,
+			func(a, b int32) int32 { return a ^ b }))
+	case isa.NOR:
+		st.set(in.Rd, foldConst2(st.get(in.Rs), st.get(in.Rt), pc,
+			func(a, b int32) int32 { return ^(a | b) }))
+
+	case isa.SLLI, isa.SRLI, isa.SRAI:
+		st.set(in.Rd, shiftVal(in.Op, st.get(in.Rs), uint32(in.Imm)&31, pc))
+	case isa.SLL, isa.SRL, isa.SRA:
+		if rt := st.get(in.Rt); rt.isConst() {
+			var imm isa.Op
+			switch in.Op {
+			case isa.SLL:
+				imm = isa.SLLI
+			case isa.SRL:
+				imm = isa.SRLI
+			default:
+				imm = isa.SRAI
+			}
+			st.set(in.Rd, shiftVal(imm, st.get(in.Rs), uint32(rt.lo)&31, pc))
+		} else {
+			st.set(in.Rd, unknownVal())
+		}
+
+	case isa.SLT, isa.SLTU, isa.SLTI, isa.FCLT, isa.FCLE, isa.FCEQ:
+		st.set(in.Rd, rangeVal(0, 1, pc))
+
+	case isa.MUL:
+		st.set(in.Rd, foldConst2(st.get(in.Rs), st.get(in.Rt), pc,
+			func(a, b int32) int32 { return a * b }))
+	case isa.DIV:
+		st.set(in.Rd, foldConst2(st.get(in.Rs), st.get(in.Rt), pc, func(a, b int32) int32 {
+			if b == 0 || (a == math.MinInt32 && b == -1) {
+				return 0
+			}
+			return a / b
+		}))
+	case isa.DIVU:
+		st.set(in.Rd, foldConst2(st.get(in.Rs), st.get(in.Rt), pc, func(a, b int32) int32 {
+			if b == 0 {
+				return 0
+			}
+			return int32(uint32(a) / uint32(b))
+		}))
+	case isa.REM:
+		st.set(in.Rd, remVal(st.get(in.Rs), st.get(in.Rt), pc))
+
+	case isa.CVTFI:
+		st.set(in.Rd, unknownVal()) // FP registers are not tracked
+
+	case isa.LB:
+		st.set(in.Rd, rangeVal(-128, 127, pc))
+	case isa.LBU:
+		st.set(in.Rd, rangeVal(0, 255, pc))
+	case isa.LH:
+		st.set(in.Rd, rangeVal(-32768, 32767, pc))
+	case isa.LHU:
+		st.set(in.Rd, rangeVal(0, 65535, pc))
+	case isa.LW:
+		st.set(in.Rd, unknownVal()) // a stored stack address may come back
+
+	case isa.JAL:
+		st.set(isa.RegRA, constVal(int32(pc+isa.InstBytes), pc))
+		clobberCall(st)
+	case isa.JALR:
+		st.set(in.Rd, constVal(int32(pc+isa.InstBytes), pc))
+		clobberCall(st)
+
+		// FP arithmetic, FLW/FLD, stores, branches, J, JR, HALT, OUT,
+		// FOUT, NOP: no integer register is written.
+	}
+}
+
+// foldConst2 folds a binary op when both operands are exact constants.
+func foldConst2(a, b absVal, def uint32, f func(a, b int32) int32) absVal {
+	if a.isConst() && b.isConst() {
+		return constVal(f(int32(a.lo), int32(b.lo)), def)
+	}
+	return absVal{}
+}
+
+// remVal models REM: with a constant positive divisor the result magnitude
+// is bounded even when the dividend is unknown (the sign follows the
+// dividend, and a zero divisor yields zero like the emulator).
+func remVal(a, b absVal, def uint32) absVal {
+	if a.isConst() && b.isConst() {
+		return foldConst2(a, b, def, func(x, d int32) int32 {
+			if d == 0 || (x == math.MinInt32 && d == -1) {
+				return 0
+			}
+			return x % d
+		})
+	}
+	if b.isConst() && b.lo > 0 {
+		m := b.lo - 1
+		if a.k == kRange && a.lo >= 0 {
+			return rangeVal(0, min(a.hi, m), def)
+		}
+		return rangeVal(-m, m, def)
+	}
+	return absVal{}
+}
+
+func shiftVal(op isa.Op, rs absVal, sh uint32, def uint32) absVal {
+	if rs.k != kRange {
+		return absVal{}
+	}
+	switch op {
+	case isa.SLLI:
+		return rangeVal(rs.lo<<sh, rs.hi<<sh, def)
+	case isa.SRAI:
+		return rangeVal(rs.lo>>sh, rs.hi>>sh, def)
+	case isa.SRLI:
+		if sh == 0 {
+			return rangeVal(rs.lo, rs.hi, def)
+		}
+		if rs.lo >= 0 {
+			return rangeVal(rs.lo>>sh, rs.hi>>sh, def)
+		}
+		// Negative inputs convert to large unsigned values first.
+		return rangeVal(0, int64(^uint32(0)>>sh), def)
+	}
+	return absVal{}
+}

@@ -1,0 +1,328 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+func mustAnalyze(t *testing.T, src string) *Analysis {
+	t.Helper()
+	prog, err := asm.Assemble("test", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return Analyze(prog)
+}
+
+// classAt returns the classification of the idx-th memory instruction.
+func classAt(t *testing.T, r *Analysis, memIdx int) ClassInfo {
+	t.Helper()
+	seen := 0
+	for i, in := range r.Prog.Text {
+		if !in.IsMem() {
+			continue
+		}
+		if seen == memIdx {
+			return r.Classes[i]
+		}
+		seen++
+	}
+	t.Fatalf("program has only %d memory instructions, wanted index %d", seen, memIdx)
+	return ClassInfo{}
+}
+
+func TestPrologueStoresAreLocal(t *testing.T) {
+	r := mustAnalyze(t, `
+		.text
+	main:
+		addi $sp, $sp, -16
+		sw   $ra, 12($sp)
+		sw   $s0, 8($sp)
+		lw   $s0, 8($sp)
+		lw   $ra, 12($sp)
+		addi $sp, $sp, 16
+		halt
+	`)
+	for i := 0; i < 4; i++ {
+		if ci := classAt(t, r, i); ci.Class != ClassLocal {
+			t.Errorf("mem[%d] = %v (%s), want local", i, ci.Class, ci.Reason)
+		}
+	}
+	if r.HasErrors() {
+		t.Errorf("unexpected error diags: %v", r.Diags)
+	}
+}
+
+func TestGlobalAccessIsNonLocal(t *testing.T) {
+	r := mustAnalyze(t, `
+		.data
+	buf:	.space 64
+		.text
+	main:
+		la   $t0, buf
+		lw   $t1, 0($t0)
+		sw   $t1, 60($t0)
+		halt
+	`)
+	for i := 0; i < 2; i++ {
+		if ci := classAt(t, r, i); ci.Class != ClassNonLocal {
+			t.Errorf("mem[%d] = %v (%s), want nonlocal", i, ci.Class, ci.Reason)
+		}
+	}
+}
+
+func TestFramePointerCopyStaysLocal(t *testing.T) {
+	// move $fp, $sp then access through $fp: still a provable stack slot.
+	r := mustAnalyze(t, `
+		.text
+	main:
+		addi $sp, $sp, -32
+		move $fp, $sp
+		sw   $zero, 4($fp)
+		lw   $t0, 4($fp)
+		addi $sp, $sp, 32
+		halt
+	`)
+	for i := 0; i < 2; i++ {
+		if ci := classAt(t, r, i); ci.Class != ClassLocal {
+			t.Errorf("mem[%d] = %v (%s), want local", i, ci.Class, ci.Reason)
+		}
+	}
+}
+
+func TestLoadedPointerIsAmbiguous(t *testing.T) {
+	// A pointer that went through memory can alias anything.
+	r := mustAnalyze(t, `
+		.data
+	ptr:	.word 0
+		.text
+	main:
+		la   $t0, ptr
+		lw   $t1, 0($t0)
+		lw   $t2, 0($t1)
+		halt
+	`)
+	if ci := classAt(t, r, 1); ci.Class != ClassAmbiguous {
+		t.Errorf("loaded-pointer access = %v (%s), want ambiguous", ci.Class, ci.Reason)
+	}
+}
+
+func TestLoopWalkedGlobalPointerStaysNonLocal(t *testing.T) {
+	// The classic widening test: a pointer stepping through a global
+	// array in a loop must stay provably non-local after widening.
+	r := mustAnalyze(t, `
+		.data
+	arr:	.space 400
+		.text
+	main:
+		la   $t0, arr
+		li   $t1, 100
+	loop:
+		lw   $t2, 0($t0)
+		addi $t0, $t0, 4
+		addi $t1, $t1, -1
+		bne  $t1, $zero, loop
+		halt
+	`)
+	if ci := classAt(t, r, 0); ci.Class != ClassNonLocal {
+		t.Errorf("loop-walked global load = %v (%s), want nonlocal", ci.Class, ci.Reason)
+	}
+}
+
+func TestCallClobbersTemporariesButNotSaved(t *testing.T) {
+	r := mustAnalyze(t, `
+		.text
+	main:
+		addi $sp, $sp, -16
+		addi $s0, $sp, 4
+		addi $t0, $sp, 8
+		jal  f
+		sw   $zero, 0($s0)
+		sw   $zero, 0($t0)
+		addi $sp, $sp, 16
+		halt
+	f:
+		jr   $ra
+	`)
+	// Store through callee-saved $s0 survives the call...
+	if ci := classAt(t, r, 0); ci.Class != ClassLocal {
+		t.Errorf("store via $s0 after call = %v (%s), want local", ci.Class, ci.Reason)
+	}
+	// ...but the caller-saved $t0 is clobbered by the callee.
+	if ci := classAt(t, r, 1); ci.Class != ClassAmbiguous {
+		t.Errorf("store via $t0 after call = %v (%s), want ambiguous", ci.Class, ci.Reason)
+	}
+}
+
+func TestUnsoundLocalHintIsFlagged(t *testing.T) {
+	r := mustAnalyze(t, `
+		.data
+	g:	.word 7
+		.text
+	main:
+		la   $t0, g
+		lw   $t1, 0($t0) !local
+		halt
+	`)
+	if !r.HasErrors() {
+		t.Fatal("wrong !local hint on a global access produced no error diag")
+	}
+	d := r.Errors()[0]
+	if d.Kind != DiagUnsoundLocalHint {
+		t.Errorf("diag kind = %v, want %v", d.Kind, DiagUnsoundLocalHint)
+	}
+}
+
+func TestUnsoundNonLocalHintIsFlagged(t *testing.T) {
+	r := mustAnalyze(t, `
+		.text
+	main:
+		addi $sp, $sp, -8
+		sw   $zero, 0($sp) !nonlocal
+		addi $sp, $sp, 8
+		halt
+	`)
+	var found bool
+	for _, d := range r.Diags {
+		if d.Kind == DiagUnsoundNonLocalHint && d.Sev == SevError {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("wrong !nonlocal hint on a stack access not flagged; diags: %v", r.Diags)
+	}
+}
+
+func TestUnbalancedSPAcrossPaths(t *testing.T) {
+	r := mustAnalyze(t, `
+		.text
+	main:
+		jal  f
+		halt
+	f:
+		addi $sp, $sp, -16
+		beq  $a0, $zero, out
+		addi $sp, $sp, 16
+	out:
+		jr   $ra
+	`)
+	var found bool
+	for _, d := range r.Diags {
+		if d.Kind == DiagUnbalancedSP {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unbalanced $sp across paths not flagged; diags: %v", r.Diags)
+	}
+}
+
+func TestStackEscapeIsFlagged(t *testing.T) {
+	r := mustAnalyze(t, `
+		.data
+	cell:	.word 0
+		.text
+	main:
+		addi $sp, $sp, -8
+		addi $t0, $sp, 0
+		la   $t1, cell
+		sw   $t0, 0($t1)
+		addi $sp, $sp, 8
+		halt
+	`)
+	var found bool
+	for _, d := range r.Diags {
+		if d.Kind == DiagStackEscape {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("stack address stored to a global not flagged; diags: %v", r.Diags)
+	}
+}
+
+func TestOutOfFrameIsFlagged(t *testing.T) {
+	r := mustAnalyze(t, `
+		.text
+	main:
+		jal  f
+		halt
+	f:
+		addi $sp, $sp, -16
+		sw   $zero, 20($sp)
+		addi $sp, $sp, 16
+		jr   $ra
+	`)
+	var found bool
+	for _, d := range r.Diags {
+		if d.Kind == DiagOutOfFrame {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("access above the incoming $sp not flagged; diags: %v", r.Diags)
+	}
+}
+
+func TestHintTableCoversOnlyProvenAccesses(t *testing.T) {
+	prog := asm.MustAssemble("test", `
+		.data
+	g:	.word 0
+		.text
+	main:
+		addi $sp, $sp, -8
+		sw   $zero, 0($sp)
+		la   $t0, g
+		lw   $t1, 0($t0)
+		lw   $t2, 0($t1)
+		addi $sp, $sp, 8
+		halt
+	`)
+	r := Analyze(prog)
+	ht := r.HintTable()
+	var local, nonlocal int
+	for _, h := range ht {
+		switch h {
+		case isa.HintLocal:
+			local++
+		case isa.HintNonLocal:
+			nonlocal++
+		default:
+			t.Errorf("HintTable contains HintNone entry")
+		}
+	}
+	if local != 1 || nonlocal != 1 {
+		t.Errorf("HintTable = %d local + %d nonlocal entries, want 1+1 (table: %v)", local, nonlocal, ht)
+	}
+}
+
+func TestSummaryAndReport(t *testing.T) {
+	r := mustAnalyze(t, `
+		.text
+	main:
+		addi $sp, $sp, -8
+		sw   $zero, 0($sp)
+		addi $sp, $sp, 8
+		halt
+	`)
+	s := r.Summarize()
+	if s.Mem != 1 || s.Local != 1 {
+		t.Errorf("summary = %+v, want 1 mem / 1 local", s)
+	}
+	if !strings.Contains(s.String(), "1 local") {
+		t.Errorf("summary string %q", s.String())
+	}
+	if rep := r.Report(); !strings.Contains(rep, "local") {
+		t.Errorf("report missing classification: %q", rep)
+	}
+}
+
+func TestAnalyzeEmptyProgram(t *testing.T) {
+	r := Analyze(&asm.Program{Name: "empty", TextBase: isa.TextBase, DataBase: isa.DataBase})
+	if len(r.Classes) != 0 || r.HasErrors() {
+		t.Errorf("empty program: %+v", r)
+	}
+}

@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// block is one basic block of the text segment: instruction indexes
+// [start, end), plus the control-flow successors of its terminator.
+// A block ending in JAL/JALR has its fallthrough as the only successor
+// (the call edge is modelled by the ABI register transfer, not followed);
+// a block ending in an indirect jump (JR through anything but $ra) is
+// marked indirect and conservatively reaches every block.
+type block struct {
+	start, end int
+	succs      []int
+	indirect   bool
+}
+
+// cfg is the whole-text control-flow graph plus the discovered function
+// entry blocks.
+type cfg struct {
+	prog    *asm.Program
+	blocks  []block
+	blockOf []int // instruction index -> block index
+	entries []int // candidate function entry block indexes, ascending
+}
+
+// textIndex converts an absolute byte address into an instruction index,
+// or -1 if it is outside (or misaligned within) the text segment.
+func textIndex(p *asm.Program, addr uint32) int {
+	if addr < p.TextBase || (addr-p.TextBase)%isa.InstBytes != 0 {
+		return -1
+	}
+	idx := int((addr - p.TextBase) / isa.InstBytes)
+	if idx >= len(p.Text) {
+		return -1
+	}
+	return idx
+}
+
+// buildCFG splits the text segment into basic blocks and collects function
+// entry candidates: the program entry point, every JAL target, and every
+// code address materialized as a constant (la of a text label) or stored
+// in the data segment (jump/dispatch tables) — provided the address starts
+// a post-terminator block, so that arbitrary data words rarely fake an
+// entry.
+func buildCFG(p *asm.Program) *cfg {
+	n := len(p.Text)
+	g := &cfg{prog: p}
+	if n == 0 {
+		return g
+	}
+
+	leader := make([]bool, n)
+	leader[0] = true
+	entrySet := map[int]bool{}
+	if idx := textIndex(p, p.Entry); idx >= 0 {
+		leader[idx] = true
+		entrySet[idx] = true
+	}
+
+	// isEntryShaped reports whether index idx can plausibly start a
+	// function: the first instruction, or one just past a terminator.
+	isEntryShaped := func(idx int) bool {
+		if idx == 0 {
+			return true
+		}
+		prev := p.Text[idx-1]
+		return prev.IsControl() || prev.Op == isa.HALT
+	}
+
+	for i, in := range p.Text {
+		switch in.Op.Info().Fmt {
+		case isa.FmtBr:
+			if t := i + 1 + int(in.Imm); t >= 0 && t < n {
+				leader[t] = true
+			}
+		case isa.FmtBrZ:
+			if t := i + 1 + int(in.Imm); t >= 0 && t < n {
+				leader[t] = true
+			}
+		case isa.FmtJ:
+			if t := textIndex(p, uint32(in.Imm)); t >= 0 {
+				leader[t] = true
+				if in.Op == isa.JAL {
+					entrySet[t] = true
+				}
+			}
+		}
+		if in.IsControl() || in.Op == isa.HALT {
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		}
+		// Code addresses built by la/li (ADDI from $zero).
+		if in.Op == isa.ADDI && in.Rs == isa.RegZero {
+			if t := textIndex(p, uint32(in.Imm)); t >= 0 && isEntryShaped(t) {
+				leader[t] = true
+				entrySet[t] = true
+			}
+		}
+	}
+
+	// Code addresses stored in the data segment (dispatch tables).
+	for off := 0; off+4 <= len(p.Data); off += 4 {
+		w := binary.LittleEndian.Uint32(p.Data[off:])
+		if t := textIndex(p, w); t >= 0 && isEntryShaped(t) {
+			leader[t] = true
+			entrySet[t] = true
+		}
+	}
+
+	// Split into blocks.
+	g.blockOf = make([]int, n)
+	for i := 0; i < n; {
+		b := block{start: i}
+		for {
+			g.blockOf[i] = len(g.blocks)
+			in := p.Text[i]
+			i++
+			if in.IsControl() || in.Op == isa.HALT || (i < n && leader[i]) {
+				break
+			}
+			if i == n {
+				break
+			}
+		}
+		b.end = i
+		g.blocks = append(g.blocks, b)
+	}
+
+	// Successors.
+	for bi := range g.blocks {
+		b := &g.blocks[bi]
+		last := p.Text[b.end-1]
+		add := func(instIdx int) {
+			if instIdx >= 0 && instIdx < n {
+				b.succs = append(b.succs, g.blockOf[instIdx])
+			}
+		}
+		switch {
+		case last.Op == isa.HALT:
+			// no successors
+		case last.Op == isa.J:
+			add(textIndex(p, uint32(last.Imm)))
+		case last.Op == isa.JAL, last.Op == isa.JALR:
+			add(b.end) // call: control returns to the fallthrough
+		case last.Op == isa.JR:
+			if last.Rs != isa.RegRA {
+				b.indirect = true // jump table: may reach any block
+			}
+			// JR $ra is a return: no intra-function successors.
+		case last.Op.Info().Class == isa.ClassBranch:
+			add(b.end) // not taken
+			add(b.end - 1 + 1 + int(last.Imm))
+		default:
+			add(b.end) // plain fallthrough into the next leader
+		}
+		sort.Ints(b.succs)
+		b.succs = dedupInts(b.succs)
+	}
+
+	g.entries = make([]int, 0, len(entrySet))
+	for idx := range entrySet {
+		g.entries = append(g.entries, g.blockOf[idx])
+	}
+	sort.Ints(g.entries)
+	g.entries = dedupInts(g.entries)
+	return g
+}
+
+// funcBlocks returns the blocks reachable from entry following
+// intra-function edges, ascending. Indirect jumps conservatively reach
+// every block of the program.
+func (g *cfg) funcBlocks(entry int) []int {
+	seen := make(map[int]bool)
+	work := []int{entry}
+	for len(work) > 0 {
+		bi := work[len(work)-1]
+		work = work[:len(work)-1]
+		if seen[bi] {
+			continue
+		}
+		seen[bi] = true
+		b := &g.blocks[bi]
+		if b.indirect {
+			for s := range g.blocks {
+				if !seen[s] {
+					work = append(work, s)
+				}
+			}
+			continue
+		}
+		for _, s := range b.succs {
+			if !seen[s] {
+				work = append(work, s)
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for bi := range seen {
+		out = append(out, bi)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func dedupInts(s []int) []int {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

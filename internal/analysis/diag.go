@@ -1,0 +1,98 @@
+package analysis
+
+import "fmt"
+
+// DiagKind is the typed category of a lint finding.
+type DiagKind uint8
+
+const (
+	// DiagUnsoundLocalHint: the instruction carries a !local hint but the
+	// analysis proves the access is outside the stack region. Under hint
+	// steering this access is misrouted on every execution and pays the
+	// squash-and-replay recovery penalty.
+	DiagUnsoundLocalHint DiagKind = iota
+	// DiagUnsoundNonLocalHint: a !nonlocal hint on an access the analysis
+	// proves to be a stack (local) access.
+	DiagUnsoundNonLocalHint
+	// DiagUnbalancedSP: a function returns with a non-zero (or
+	// path-dependent) $sp adjustment relative to its entry.
+	DiagUnbalancedSP
+	// DiagStackEscape: a stack-derived address is stored to non-stack
+	// memory, after which loaded pointers can alias the stack and defeat
+	// static classification.
+	DiagStackEscape
+	// DiagOutOfFrame: a statically-known frame offset lands outside the
+	// current frame (at/above the function's incoming $sp, or below the
+	// current $sp).
+	DiagOutOfFrame
+)
+
+var diagKindNames = [...]string{
+	"unsound-local-hint",
+	"unsound-nonlocal-hint",
+	"unbalanced-sp",
+	"stack-escape",
+	"out-of-frame",
+}
+
+func (k DiagKind) String() string {
+	if int(k) < len(diagKindNames) {
+		return diagKindNames[k]
+	}
+	return fmt.Sprintf("diag%d", uint8(k))
+}
+
+// Severity grades a finding.
+type Severity uint8
+
+const (
+	SevWarning Severity = iota
+	SevError
+)
+
+func (s Severity) String() string {
+	if s == SevError {
+		return "error"
+	}
+	return "warning"
+}
+
+// Diag is one lint finding, anchored at a text-segment address.
+type Diag struct {
+	Kind DiagKind
+	Sev  Severity
+	PC   uint32
+	Fn   string // entry label of the enclosing function, if known
+	Inst string // disassembly of the offending instruction
+	Msg  string
+}
+
+func (d Diag) String() string {
+	fn := d.Fn
+	if fn != "" {
+		fn = " in " + fn
+	}
+	return fmt.Sprintf("%08x: %s: [%s] %s: %s%s", d.PC, d.Sev, d.Kind, d.Inst, d.Msg, fn)
+}
+
+// diagJSON is the stable wire form used by ddlint -json.
+type diagJSON struct {
+	Kind     string `json:"kind"`
+	Severity string `json:"severity"`
+	PC       string `json:"pc"`
+	Function string `json:"function,omitempty"`
+	Inst     string `json:"inst"`
+	Msg      string `json:"msg"`
+}
+
+// JSONForm returns the JSON-marshalable representation of the finding.
+func (d Diag) JSONForm() any {
+	return diagJSON{
+		Kind:     d.Kind.String(),
+		Severity: d.Sev.String(),
+		PC:       fmt.Sprintf("%#08x", d.PC),
+		Function: d.Fn,
+		Inst:     d.Inst,
+		Msg:      d.Msg,
+	}
+}

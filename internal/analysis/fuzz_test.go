@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/asm"
+)
+
+// FuzzAnalyze feeds arbitrary source through the assembler and, when it
+// assembles, checks that the analyzer neither panics nor classifies
+// non-deterministically.
+func FuzzAnalyze(f *testing.F) {
+	seeds := []string{
+		"",
+		"\t.text\nmain:\n\thalt\n",
+		"\t.text\nmain:\n\tlw $t0, 4($sp) !local\n\thalt\n",
+		"\t.data\nx:\t.word 1, 2, 3\n",
+		"\t.text\nmain:\n\tadd $t0 $t1\n",
+		"\t.text\nmain:\n\tli $t0, 99999999999999999999\n",
+		"#comment only\n",
+		"\t.text\nmain:\n\tsw $t0, x($gp)\n\t.data\nx: .word 0\n",
+		// Analyzer-specific shapes: calls, loops, indirect jumps,
+		// dispatch tables, unbalanced frames.
+		"\t.text\nmain:\n\tjal f\n\thalt\nf:\n\taddi $sp, $sp, -8\n\tsw $ra, 4($sp)\n\tlw $ra, 4($sp)\n\taddi $sp, $sp, 8\n\tjr $ra\n",
+		"\t.text\nmain:\n\tla $t0, arr\n\tli $t1, 10\nloop:\n\tlw $t2, 0($t0)\n\taddi $t0, $t0, 4\n\taddi $t1, $t1, -1\n\tbne $t1, $zero, loop\n\thalt\n\t.data\narr:\t.space 40\n",
+		"\t.data\ntab:\t.word f\n\t.text\nmain:\n\tla $t0, tab\n\tlw $t3, 0($t0)\n\tjalr $ra, $t3\n\thalt\nf:\n\tjr $ra\n",
+		"\t.text\nmain:\n\taddi $sp, $sp, -16\n\tbeq $a0, $zero, out\n\taddi $sp, $sp, 16\nout:\n\tjr $ra\n",
+		"\t.text\nmain:\n\taddi $t0, $sp, 0\n\tla $t1, g\n\tsw $t0, 0($t1)\n\thalt\n\t.data\ng:\t.word 0\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := asm.Assemble("fuzz.s", src)
+		if err != nil {
+			return
+		}
+		r1 := Analyze(prog)
+		r2 := Analyze(prog)
+		if !reflect.DeepEqual(r1.Classes, r2.Classes) {
+			t.Fatal("classification is not deterministic")
+		}
+		if !reflect.DeepEqual(r1.Diags, r2.Diags) {
+			t.Fatal("diagnostics are not deterministic")
+		}
+		_ = r1.Summarize()
+		_ = r1.Report()
+		_ = r1.HintTable()
+	})
+}

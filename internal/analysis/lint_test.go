@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/workload"
+)
+
+// TestWorkloadHintsAreClean lints every generated workload at several
+// scales: the generator's !local/!nonlocal hints must never contradict the
+// analysis, frames must balance, and no stack address may escape.
+func TestWorkloadHintsAreClean(t *testing.T) {
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			for _, scale := range []float64{0.02, 0.1} {
+				res := Analyze(w.Program(scale))
+				for _, d := range res.Diags {
+					t.Errorf("scale %v: %s", scale, d)
+				}
+			}
+		})
+	}
+}
+
+// TestExampleSourcesLint lints every .s file under examples/: all are
+// clean except badhint.s, the linter's negative example, which must keep
+// producing an unsound-local-hint error.
+func TestExampleSourcesLint(t *testing.T) {
+	files, err := filepath.Glob("../../examples/asm/*.s")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no example sources found: %v", err)
+	}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := asm.Assemble(filepath.Base(path), string(src))
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			res := Analyze(prog)
+			if filepath.Base(path) == "badhint.s" {
+				if !r1HasKind(res, DiagUnsoundLocalHint) {
+					t.Fatalf("badhint.s must trip the unsound-local-hint lint; diags: %v", res.Diags)
+				}
+				return
+			}
+			for _, d := range res.Diags {
+				t.Errorf("%s", d)
+			}
+		})
+	}
+}
+
+func r1HasKind(r *Analysis, k DiagKind) bool {
+	for _, d := range r.Diags {
+		if d.Kind == k && d.Sev == SevError {
+			return true
+		}
+	}
+	return false
+}

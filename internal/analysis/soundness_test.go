@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+// soundnessScale keeps the emulated instruction counts small while still
+// exercising every workload's access patterns.
+const soundnessScale = 0.02
+
+const soundnessMaxInsts = 2_000_000
+
+// TestSoundnessAgainstEmulator runs every workload program through the
+// emulator, records the actual region of each executed memory access, and
+// checks the analyzer's Local/NonLocal claims against that ground truth.
+// A dynamically-non-local access classified Local is a hard soundness
+// failure; a dynamically-local access classified NonLocal violates the
+// bounded-walk assumption and is also reported.
+func TestSoundnessAgainstEmulator(t *testing.T) {
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			prog := w.Program(soundnessScale)
+			res := Analyze(prog)
+
+			// dynLocal / dynNonLocal: per text index, whether any executed
+			// access was inside / outside the stack region.
+			dynLocal := make([]bool, len(prog.Text))
+			dynNonLocal := make([]bool, len(prog.Text))
+			m := emu.New(prog)
+			var steps uint64
+			for !m.Halted && steps < soundnessMaxInsts {
+				ef, err := m.Step()
+				if err != nil {
+					t.Fatalf("emulate: %v", err)
+				}
+				steps++
+				if !ef.Inst.IsMem() {
+					continue
+				}
+				idx := int((ef.PC - prog.TextBase) / isa.InstBytes)
+				if isa.InStackRegion(ef.Addr) {
+					dynLocal[idx] = true
+				} else {
+					dynNonLocal[idx] = true
+				}
+			}
+
+			var mem, local, nonlocal, ambiguous, executed int
+			for i, in := range prog.Text {
+				if !in.IsMem() {
+					continue
+				}
+				mem++
+				ci := res.Classes[i]
+				switch ci.Class {
+				case ClassLocal:
+					local++
+				case ClassNonLocal:
+					nonlocal++
+				default:
+					ambiguous++
+				}
+				if !dynLocal[i] && !dynNonLocal[i] {
+					continue // never executed at this scale
+				}
+				executed++
+				pc := prog.TextBase + uint32(i)*isa.InstBytes
+				if ci.Class == ClassLocal && dynNonLocal[i] {
+					t.Errorf("UNSOUND Local at %08x: %v executed outside the stack region (reason: %s)",
+						pc, in, ci.Reason)
+				}
+				if ci.Class == ClassNonLocal && dynLocal[i] {
+					t.Errorf("unsound NonLocal at %08x: %v executed inside the stack region (reason: %s)",
+						pc, in, ci.Reason)
+				}
+			}
+			t.Logf("%s: %d mem insts (%d executed), %d local / %d nonlocal / %d ambiguous (%.1f%% ambiguous), %v emulated insts",
+				w.Name, mem, executed, local, nonlocal, ambiguous,
+				100*float64(ambiguous)/float64(max(mem, 1)), steps)
+		})
+	}
+}

@@ -35,6 +35,13 @@ const (
 	// between them"). No misprediction recovery is ever needed, at the
 	// cost of queue occupancy and conservative ordering in both streams.
 	SteerDual
+	// SteerStatic consumes the per-PC classification table computed by
+	// the internal/analysis dataflow pass instead of the instruction hint
+	// bits: provably-local accesses go to the LVAQ, provably-non-local
+	// ones to the LSQ, and ambiguous ones fall back to the 1-bit region
+	// predictor. It models a compiler doing the §2.2.3 classification
+	// without any ISA hint encoding.
+	SteerStatic
 )
 
 func (s SteeringPolicy) String() string {
@@ -47,6 +54,8 @@ func (s SteeringPolicy) String() string {
 		return "oracle"
 	case SteerDual:
 		return "dual"
+	case SteerStatic:
+		return "static"
 	default:
 		return fmt.Sprintf("steer%d", uint8(s))
 	}

@@ -116,4 +116,7 @@ func TestSteeringPolicyString(t *testing.T) {
 	if SteerHint.String() != "hint" || SteerSP.String() != "sp" || SteerOracle.String() != "oracle" {
 		t.Error("policy names wrong")
 	}
+	if SteerDual.String() != "dual" || SteerStatic.String() != "static" {
+		t.Error("policy names wrong")
+	}
 }

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"repro/internal/analysis"
 	"repro/internal/asm"
 	"repro/internal/cache"
 	"repro/internal/config"
@@ -206,6 +207,11 @@ type Core struct {
 	// accesses under SteerHint (paper §2.2.3).
 	regionPredictor map[uint32]bool // true = local
 
+	// staticClass is the per-PC classification table produced by the
+	// internal/analysis dataflow pass, consulted under SteerStatic.
+	// Absent entries are ambiguous and fall back to the predictor.
+	staticClass map[uint32]isa.Hint
+
 	// annotTLB, when non-nil, is the §2.1 annotation TLB: steering
 	// verification waits for its fill on a miss.
 	annotTLB *tlb.TLB
@@ -261,6 +267,9 @@ func New(prog *asm.Program, cfg config.Config) (*Core, error) {
 	c.l1Ports = newPorts(cfg.DCachePortModel, cfg.DCachePorts, cfg.L1.LineBytes)
 	if cfg.Decoupled() && cfg.TLBEntries > 0 {
 		c.annotTLB = tlb.New(cfg.TLBEntries, cfg.TLBMissLatency)
+	}
+	if cfg.Decoupled() && cfg.Steering == config.SteerStatic {
+		c.staticClass = analysis.Analyze(prog).HintTable()
 	}
 	return c, nil
 }

@@ -518,6 +518,22 @@ func (c *Core) steer(ef emu.Effect) (q queueID, dual bool) {
 			local = ef.Inst.BaseReg() == isa.RegSP || ef.Inst.BaseReg() == isa.RegFP
 			dual = true
 		}
+	case config.SteerStatic:
+		// The analyzer's classification table replaces the hint bits;
+		// ambiguous accesses fall back to the region predictor.
+		switch c.staticClass[ef.PC] {
+		case isa.HintLocal:
+			local = true
+		case isa.HintNonLocal:
+			local = false
+		default:
+			if pred, ok := c.regionPredictor[ef.PC]; ok {
+				local = pred
+			} else {
+				local = ef.Inst.BaseReg() == isa.RegSP || ef.Inst.BaseReg() == isa.RegFP
+			}
+			c.stats.PredictedSteers++
+		}
 	default: // SteerHint
 		switch ef.Inst.Hint {
 		case isa.HintLocal:
@@ -548,7 +564,10 @@ func (c *Core) checkSteering(u *uop) {
 		return
 	}
 	local := isa.InStackRegion(u.ef.Addr)
-	if u.ef.Inst.Hint == isa.HintNone && c.cfg.Steering == config.SteerHint {
+	switch {
+	case c.cfg.Steering == config.SteerHint && u.ef.Inst.Hint == isa.HintNone:
+		c.regionPredictor[u.ef.PC] = local
+	case c.cfg.Steering == config.SteerStatic && c.staticClass[u.ef.PC] == isa.HintNone:
 		c.regionPredictor[u.ef.PC] = local
 	}
 	if u.dual {

@@ -128,7 +128,8 @@ func init() {
 		ID:    "ablation-steering",
 		Title: "Ablation: steering policy",
 		Description: "Hint bits vs the $sp heuristic vs an oracle vs " +
-			"dual insertion (§2.1 footnote 3) under (2+2) with " +
+			"dual insertion (§2.1 footnote 3) vs static dataflow " +
+			"classification (internal/analysis) under (2+2) with " +
 			"optimizations: cycles, misroutes, squashes.",
 		Run: runAblationSteering,
 	})
@@ -561,7 +562,7 @@ func runL2Traffic(r *Runner) (string, error) {
 }
 
 func runAblationSteering(r *Runner) (string, error) {
-	policies := []config.SteeringPolicy{config.SteerHint, config.SteerSP, config.SteerOracle, config.SteerDual}
+	policies := []config.SteeringPolicy{config.SteerHint, config.SteerSP, config.SteerOracle, config.SteerDual, config.SteerStatic}
 	t := stats.NewTable("Steering policy ablation under (2+2) with optimizations",
 		"program", "policy", "cycles", "misroutes", "squashed", "LVAQ refs")
 	for _, name := range []string{"li", "vortex", "gcc", "perl"} {

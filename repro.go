@@ -63,6 +63,8 @@ const (
 	SteerHint   = config.SteerHint
 	SteerSP     = config.SteerSP
 	SteerOracle = config.SteerOracle
+	SteerDual   = config.SteerDual
+	SteerStatic = config.SteerStatic
 )
 
 // DefaultConfig returns the paper's base machine model in the (2+0)
