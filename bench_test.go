@@ -71,16 +71,23 @@ func BenchmarkEmulator(b *testing.B) {
 }
 
 func BenchmarkTimingCoreUnified(b *testing.B) {
-	benchTiming(b, 2, 0, false)
+	benchTiming(b, "vortex", 2, 0, false)
 }
 
 func BenchmarkTimingCoreDecoupled(b *testing.B) {
-	benchTiming(b, 2, 2, true)
+	benchTiming(b, "vortex", 2, 2, true)
 }
 
-func benchTiming(b *testing.B, n, m int, opt bool) {
+// Per-workload timing-core benchmarks in the paper's optimized decoupled
+// configuration — the hot loop the memsys refactor must not slow down.
+
+func BenchmarkRunLi(b *testing.B)     { benchTiming(b, "li", 2, 2, true) }
+func BenchmarkRunVortex(b *testing.B) { benchTiming(b, "vortex", 3, 2, true) }
+func BenchmarkRunGcc(b *testing.B)    { benchTiming(b, "gcc", 2, 2, true) }
+
+func benchTiming(b *testing.B, name string, n, m int, opt bool) {
 	b.Helper()
-	w, err := WorkloadByName("vortex")
+	w, err := WorkloadByName(name)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -154,6 +154,59 @@ type Config struct {
 	MaxInsts uint64
 }
 
+// StreamSpec is the canonical description of one memory access stream:
+// the queue in front of a cache, that cache's parameters, its port
+// arbitration, and the stream-local optimizations. The legacy flat Config
+// fields map onto a slice of these via Streams(); internal/memsys builds
+// one Stream per spec.
+type StreamSpec struct {
+	// Name labels the stream in statistics and traces ("LSQ", "LVAQ").
+	Name string
+	// Local marks the stream that receives accesses classified as local
+	// (stack-region) by the steering policy.
+	Local bool
+
+	QueueSize int
+	Ports     int
+	PortModel PortModel
+	Cache     CacheParams
+
+	// FastForward enables the §2.2.2 offset-based store→load bypass in
+	// this stream's queue.
+	FastForward bool
+	// CombineWidth is the access-combining degree on this stream's cache
+	// port (1 disables combining).
+	CombineWidth int
+}
+
+// Streams returns the canonical per-stream view of the configuration: the
+// conventional LSQ/L1 stream, plus the LVAQ/LVC stream when decoupling is
+// enabled. The paper's "two streams" is exactly len(Streams()) == 2;
+// every Config field relevant to the memory system maps onto one spec.
+func (c Config) Streams() []StreamSpec {
+	ss := []StreamSpec{{
+		Name:         "LSQ",
+		QueueSize:    c.LSQSize,
+		Ports:        c.DCachePorts,
+		PortModel:    c.DCachePortModel,
+		Cache:        c.L1,
+		CombineWidth: 1,
+	}}
+	if c.Decoupled() {
+		ss = append(ss, StreamSpec{
+			Name:         "LVAQ",
+			Local:        true,
+			QueueSize:    c.LVAQSize,
+			Ports:        c.LVCPorts,
+			PortModel:    c.LVCPortModel,
+			Cache:        c.LVC,
+			FastForward:  c.FastForward,
+			CombineWidth: c.CombineWidth,
+		})
+	}
+	return ss
+}
+
 // Default returns the paper's base machine model (Table 1) in the (2+0)
 // configuration; use WithPorts to select other (N+M) points.
 func Default() Config {
@@ -204,6 +257,59 @@ func (c Config) Decoupled() bool { return c.LVCPorts > 0 }
 // Name returns the paper's "(N+M)" name for the configuration.
 func (c Config) Name() string {
 	return fmt.Sprintf("(%d+%d)", c.DCachePorts, c.LVCPorts)
+}
+
+// Key returns a canonical, field-order-stable identity string for the
+// configuration, suitable as a cache key: equal configurations always
+// produce equal keys, and any change to any field changes the key. Unlike
+// fmt.Sprintf("%+v", c) it does not depend on struct declaration order or
+// on the default formatting of nested values, so it cannot silently alias
+// two configurations (or split one) when fields are added or reordered.
+func (c Config) Key() string {
+	var b strings.Builder
+	b.Grow(160)
+	f := func(tag string, v uint64) {
+		b.WriteString(tag)
+		b.WriteString(strconv.FormatUint(v, 10))
+		b.WriteByte('|')
+	}
+	cp := func(tag string, p CacheParams) {
+		b.WriteString(tag)
+		b.WriteByte('{')
+		f("sz", uint64(p.SizeBytes))
+		f("ln", uint64(p.LineBytes))
+		f("as", uint64(p.Assoc))
+		f("hl", p.HitLatency)
+		b.WriteString("}|")
+	}
+	f("iw", uint64(c.IssueWidth))
+	f("rob", uint64(c.ROBSize))
+	f("lsq", uint64(c.LSQSize))
+	f("lvaq", uint64(c.LVAQSize))
+	f("ialu", uint64(c.IntALUs))
+	f("falu", uint64(c.FPALUs))
+	f("imd", uint64(c.IntMulDiv))
+	f("fmd", uint64(c.FPMulDiv))
+	f("dp", uint64(c.DCachePorts))
+	f("lp", uint64(c.LVCPorts))
+	f("dpm", uint64(c.DCachePortModel))
+	f("lpm", uint64(c.LVCPortModel))
+	cp("l1", c.L1)
+	cp("l2", c.L2)
+	cp("lvc", c.LVC)
+	f("mem", c.MemLatency)
+	f("st", uint64(c.Steering))
+	f("tlb", uint64(c.TLBEntries))
+	f("tlbml", c.TLBMissLatency)
+	f("rp", c.RecoveryPenalty)
+	if c.FastForward {
+		f("ff", 1)
+	} else {
+		f("ff", 0)
+	}
+	f("cw", uint64(c.CombineWidth))
+	f("mi", c.MaxInsts)
+	return b.String()
 }
 
 // Validate checks the configuration for internal consistency.

@@ -112,6 +112,94 @@ func TestLatenciesMatchR10000(t *testing.T) {
 	}
 }
 
+// TestKeyDistinguishesEveryField perturbs each field that feeds the
+// simulation and demands a distinct cache key: a collision would silently
+// return a cached result for a different configuration.
+func TestKeyDistinguishesEveryField(t *testing.T) {
+	mut := []func(*Config){
+		func(c *Config) { c.IssueWidth++ },
+		func(c *Config) { c.ROBSize++ },
+		func(c *Config) { c.LSQSize++ },
+		func(c *Config) { c.LVAQSize++ },
+		func(c *Config) { c.IntALUs++ },
+		func(c *Config) { c.FPALUs++ },
+		func(c *Config) { c.IntMulDiv++ },
+		func(c *Config) { c.FPMulDiv++ },
+		func(c *Config) { c.DCachePorts++ },
+		func(c *Config) { c.LVCPorts++ },
+		func(c *Config) { c.DCachePortModel = PortsBanked },
+		func(c *Config) { c.LVCPortModel = PortsReplicated },
+		func(c *Config) { c.L1.SizeBytes *= 2 },
+		func(c *Config) { c.L1.LineBytes *= 2 },
+		func(c *Config) { c.L1.Assoc *= 2 },
+		func(c *Config) { c.L1.HitLatency++ },
+		func(c *Config) { c.L2.SizeBytes *= 2 },
+		func(c *Config) { c.L2.LineBytes *= 2 },
+		func(c *Config) { c.L2.Assoc *= 2 },
+		func(c *Config) { c.L2.HitLatency++ },
+		func(c *Config) { c.LVC.SizeBytes *= 2 },
+		func(c *Config) { c.LVC.LineBytes *= 2 },
+		func(c *Config) { c.LVC.Assoc *= 2 },
+		func(c *Config) { c.LVC.HitLatency++ },
+		func(c *Config) { c.MemLatency++ },
+		func(c *Config) { c.Steering = SteerOracle },
+		func(c *Config) { c.TLBEntries++ },
+		func(c *Config) { c.TLBMissLatency++ },
+		func(c *Config) { c.RecoveryPenalty++ },
+		func(c *Config) { c.FastForward = !c.FastForward },
+		func(c *Config) { c.CombineWidth++ },
+		func(c *Config) { c.MaxInsts++ },
+	}
+	base := Default()
+	seen := map[string]int{base.Key(): -1}
+	for i, f := range mut {
+		c := Default()
+		f(&c)
+		k := c.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("mutation %d collides with %d: key %q", i, prev, k)
+		}
+		seen[k] = i
+	}
+	// Equal configurations must produce equal keys.
+	if Default().Key() != base.Key() {
+		t.Error("equal configs produced different keys")
+	}
+	a := Default().WithPorts(3, 2).WithOptimizations(4)
+	b := Default().WithPorts(3, 2).WithOptimizations(4)
+	if a.Key() != b.Key() {
+		t.Error("identically-derived configs produced different keys")
+	}
+}
+
+// TestStreams checks the canonical per-stream view of a configuration.
+func TestStreams(t *testing.T) {
+	uni := Default().WithPorts(4, 0)
+	specs := uni.Streams()
+	if len(specs) != 1 {
+		t.Fatalf("unified Streams() = %d specs, want 1", len(specs))
+	}
+	if specs[0].Local || specs[0].Name != "LSQ" || specs[0].QueueSize != uni.LSQSize ||
+		specs[0].Ports != 4 || specs[0].Cache != uni.L1 {
+		t.Errorf("unified spec = %+v", specs[0])
+	}
+
+	dec := Default().WithPorts(2, 2).WithOptimizations(4)
+	specs = dec.Streams()
+	if len(specs) != 2 {
+		t.Fatalf("decoupled Streams() = %d specs, want 2", len(specs))
+	}
+	lsq, lvaq := specs[0], specs[1]
+	if lsq.Local || lsq.FastForward || lsq.CombineWidth != 1 {
+		t.Errorf("LSQ spec = %+v", lsq)
+	}
+	if !lvaq.Local || lvaq.Name != "LVAQ" || lvaq.QueueSize != dec.LVAQSize ||
+		lvaq.Ports != 2 || lvaq.Cache != dec.LVC ||
+		!lvaq.FastForward || lvaq.CombineWidth != 4 {
+		t.Errorf("LVAQ spec = %+v", lvaq)
+	}
+}
+
 func TestSteeringPolicyString(t *testing.T) {
 	if SteerHint.String() != "hint" || SteerSP.String() != "sp" || SteerOracle.String() != "oracle" {
 		t.Error("policy names wrong")

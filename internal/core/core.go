@@ -11,20 +11,19 @@
 // their register and memory dependences and latencies.
 //
 // Data decoupling (paper §2): at dispatch, memory instructions are steered
-// into one of two independent memory access queues — the conventional
-// load/store queue (LSQ) in front of the L1 data cache, or the local
-// variable access queue (LVAQ) in front of the small local variable cache
-// (LVC). Load/store ordering is enforced within each queue only. The two
-// LVAQ optimizations of §2.2.2 are implemented: fast data forwarding
-// (offset-based store→load bypass before address generation) and access
-// combining (one LVC port grant serves up to N consecutive same-line
-// accesses).
+// into one of N independent memory streams (internal/memsys) — in the
+// paper's configuration the conventional load/store queue (LSQ) in front
+// of the L1 data cache, and the local variable access queue (LVAQ) in
+// front of the small local variable cache (LVC). Load/store ordering is
+// enforced within each stream only. The two LVAQ optimizations of §2.2.2
+// are implemented: fast data forwarding (offset-based store→load bypass
+// before address generation) and access combining (one LVC port grant
+// serves up to N consecutive same-line accesses).
 package core
 
 import (
 	"errors"
 	"fmt"
-	"math/bits"
 
 	"repro/internal/analysis"
 	"repro/internal/asm"
@@ -32,23 +31,9 @@ import (
 	"repro/internal/config"
 	"repro/internal/emu"
 	"repro/internal/isa"
+	"repro/internal/memsys"
 	"repro/internal/tlb"
 )
-
-// queueID identifies one of the two memory access queues.
-type queueID uint8
-
-const (
-	qLSQ queueID = iota
-	qLVAQ
-)
-
-func (q queueID) String() string {
-	if q == qLVAQ {
-		return "LVAQ"
-	}
-	return "LSQ"
-}
 
 // uop is one in-flight instruction (an RUU entry).
 type uop struct {
@@ -69,7 +54,8 @@ type uop struct {
 
 	// Memory state.
 	isMem, isLoad bool
-	queue         queueID
+	stream        int // primary stream index (memsys)
+	qnode         memsys.Node
 	addrKnown     bool
 	addrAt        uint64 // cycle the effective address becomes available
 	valueKnown    bool   // stores: data operand ready
@@ -85,8 +71,8 @@ type uop struct {
 	// dispatched (used to restore it on a squash).
 	spGenAfter uint64
 
-	misrouted bool // address resolved to the wrong queue; recovery done
-	// dual marks an ambiguous access inserted into both queues
+	misrouted bool // address resolved to the wrong stream; recovery done
+	// dual marks an ambiguous access inserted into both streams
 	// (SteerDual); cleared when the address resolves and the wrong copy
 	// is killed.
 	dual bool
@@ -96,13 +82,19 @@ type uop struct {
 	fastForwarded bool
 }
 
+// QueueNode implements memsys.Entry.
+func (u *uop) QueueNode() *memsys.Node { return &u.qnode }
+
+// OrderSeq implements memsys.Entry.
+func (u *uop) OrderSeq() uint64 { return u.seq }
+
 // TraceEvent is the per-instruction pipeline timeline delivered to a
 // Tracer. All cycle stamps are absolute; zero means "did not happen".
 type TraceEvent struct {
 	Seq   uint64
 	PC    uint32
 	Inst  isa.Inst
-	Queue string // "LSQ", "LVAQ" or "" for non-memory instructions
+	Queue string // stream name ("LSQ", "LVAQ") or "" for non-memory ops
 	Addr  uint32 // effective address for memory instructions
 
 	DispatchedAt uint64
@@ -115,7 +107,7 @@ type TraceEvent struct {
 	Misrouted     bool
 	Forwarded     bool // value came from an older store in the queue
 	FastForwarded bool
-	Combined      bool // access rode a shared LVC port grant
+	Combined      bool // access rode a shared port grant
 }
 
 // Tracer observes retired (and squashed) instructions. Implementations
@@ -147,7 +139,7 @@ func (c *Core) emitTrace(u *uop, committedAt uint64, squashed bool) {
 		Combined:      u.combined,
 	}
 	if u.isMem {
-		ev.Queue = u.queue.String()
+		ev.Queue = c.streams[u.stream].Spec.Name
 		ev.AddrAt = u.addrAt
 	}
 	c.tracer.Trace(ev)
@@ -183,17 +175,20 @@ type Core struct {
 	cfg config.Config
 	emu *emu.Machine
 
-	l1  *cache.Cache
+	// streams are the memory access streams (memsys); stream 0 is the
+	// conventional LSQ/L1 stream. localIdx and nonlocalIdx name the
+	// steering targets for local and non-local classifications.
+	streams     []*memsys.Stream
+	localIdx    int
+	nonlocalIdx int
+
 	l2  *cache.Cache
-	lvc *cache.Cache
 	mem *cache.MainMemory
 
 	now uint64
 	seq uint64
 
-	rob  []*uop // in program order; rob[0] is the commit head
-	lsq  []*uop // memory ops in program order
-	lvaq []*uop
+	rob []*uop // in program order; rob[0] is the commit head
 
 	// renameTable maps each architectural register to its most recent
 	// in-flight producer.
@@ -221,19 +216,9 @@ type Core struct {
 	dispatchStallUntil uint64
 	fetchDone          bool        // emulator halted or instruction budget reached
 	pending            *emu.Effect // dispatch held back by a full queue
-	// replay holds the effects of squashed (wrong-queue recovery)
+	// replay holds the effects of squashed (wrong-stream recovery)
 	// instructions awaiting re-dispatch; the emulator is never re-run.
 	replay []emu.Effect
-
-	// Per-cycle port accounting.
-	l1Ports  ports
-	lvcPorts ports
-	// combineGrant tracks the line address and remaining width of the
-	// current combining window on the LVC (reset each cycle).
-	combineLine   uint32
-	combineLeft   int
-	combineIsLoad bool
-	combineAnchor int
 
 	stats Stats
 }
@@ -253,18 +238,24 @@ func New(prog *asm.Program, cfg config.Config) (*Core, error) {
 		Name: "L2", SizeBytes: cfg.L2.SizeBytes, LineBytes: cfg.L2.LineBytes,
 		Assoc: cfg.L2.Assoc, HitLatency: cfg.L2.HitLatency, MSHRs: 64,
 	}, c.mem)
-	c.l1 = cache.New(cache.Config{
-		Name: "L1D", SizeBytes: cfg.L1.SizeBytes, LineBytes: cfg.L1.LineBytes,
-		Assoc: cfg.L1.Assoc, HitLatency: cfg.L1.HitLatency,
-	}, c.l2)
-	if cfg.Decoupled() {
-		c.lvc = cache.New(cache.Config{
-			Name: "LVC", SizeBytes: cfg.LVC.SizeBytes, LineBytes: cfg.LVC.LineBytes,
-			Assoc: cfg.LVC.Assoc, HitLatency: cfg.LVC.HitLatency,
+	for id, spec := range cfg.Streams() {
+		sc := cache.New(cache.Config{
+			Name: streamCacheName(spec), SizeBytes: spec.Cache.SizeBytes,
+			LineBytes: spec.Cache.LineBytes, Assoc: spec.Cache.Assoc,
+			HitLatency: spec.Cache.HitLatency,
 		}, c.l2)
-		c.lvcPorts = newPorts(cfg.LVCPortModel, cfg.LVCPorts, cfg.LVC.LineBytes)
+		c.streams = append(c.streams, memsys.NewStream(id, spec, sc))
+		if spec.Local {
+			c.localIdx = id
+		} else {
+			c.nonlocalIdx = id
+		}
 	}
-	c.l1Ports = newPorts(cfg.DCachePortModel, cfg.DCachePorts, cfg.L1.LineBytes)
+	if !cfg.Decoupled() {
+		// A unified memory system has a single stream; both
+		// classifications route to it.
+		c.localIdx = c.nonlocalIdx
+	}
 	if cfg.Decoupled() && cfg.TLBEntries > 0 {
 		c.annotTLB = tlb.New(cfg.TLBEntries, cfg.TLBMissLatency)
 	}
@@ -272,6 +263,23 @@ func New(prog *asm.Program, cfg config.Config) (*Core, error) {
 		c.staticClass = analysis.Analyze(prog).HintTable()
 	}
 	return c, nil
+}
+
+// streamCacheName keeps the historical cache names in the stat block.
+func streamCacheName(spec config.StreamSpec) string {
+	if spec.Local {
+		return "LVC"
+	}
+	return "L1D"
+}
+
+// route returns the stream index accesses with the given classification
+// are steered to.
+func (c *Core) route(local bool) int {
+	if local {
+		return c.localIdx
+	}
+	return c.nonlocalIdx
 }
 
 // ErrBudget is reported (wrapped) by Run when the cycle safety budget is
@@ -296,91 +304,4 @@ func (c *Core) Run() (*Result, error) {
 
 func (c *Core) done() bool {
 	return c.fetchDone && len(c.rob) == 0
-}
-
-// queue returns the memory access queue for q.
-func (c *Core) queueSlice(q queueID) []*uop {
-	if q == qLVAQ {
-		return c.lvaq
-	}
-	return c.lsq
-}
-
-// cacheFor returns the cache a queue's accesses go to.
-func (c *Core) cacheFor(q queueID) *cache.Cache {
-	if q == qLVAQ {
-		return c.lvc
-	}
-	return c.l1
-}
-
-// portsFor returns the per-cycle port state for a queue's cache.
-func (c *Core) portsFor(q queueID) *ports {
-	if q == qLVAQ {
-		return &c.lvcPorts
-	}
-	return &c.l1Ports
-}
-
-// ports tracks one cache's port availability within the current cycle,
-// under one of the paper's §1 multi-porting schemes.
-type ports struct {
-	model     config.PortModel
-	limit     int
-	lineShift uint
-
-	used     int
-	bankBusy []bool
-}
-
-func newPorts(model config.PortModel, limit, lineBytes int) ports {
-	p := ports{model: model, limit: limit,
-		lineShift: uint(bits.TrailingZeros(uint(lineBytes)))}
-	if model == config.PortsBanked {
-		p.bankBusy = make([]bool, limit)
-	}
-	return p
-}
-
-func (p *ports) reset() {
-	p.used = 0
-	for i := range p.bankBusy {
-		p.bankBusy[i] = false
-	}
-}
-
-// grant tries to allocate a port for an access this cycle.
-func (p *ports) grant(addr uint32, isStore bool) bool {
-	switch p.model {
-	case config.PortsBanked:
-		// Line-interleaved single-ported banks: same-bank accesses
-		// conflict.
-		bank := int(addr>>p.lineShift) % p.limit
-		if p.bankBusy[bank] {
-			return false
-		}
-		p.bankBusy[bank] = true
-		return true
-	case config.PortsReplicated:
-		// Stores broadcast to every replica and need all ports; loads
-		// can use any single free replica.
-		if isStore {
-			if p.used != 0 {
-				return false
-			}
-			p.used = p.limit
-			return true
-		}
-		if p.used >= p.limit {
-			return false
-		}
-		p.used++
-		return true
-	default: // ideal
-		if p.used >= p.limit {
-			return false
-		}
-		p.used++
-		return true
-	}
 }

@@ -4,6 +4,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/emu"
 	"repro/internal/isa"
+	"repro/internal/memsys"
 )
 
 // cycle advances the machine one clock. Stages run back to front so that an
@@ -11,9 +12,9 @@ import (
 // then the memory pipelines, then issue, then fetch/dispatch.
 func (c *Core) cycle() {
 	c.now++
-	c.l1Ports.reset()
-	c.lvcPorts.reset()
-	c.combineLeft = 0
+	for _, s := range c.streams {
+		s.Reset()
+	}
 
 	c.commitStage()
 	c.memoryStage()
@@ -33,84 +34,60 @@ func (c *Core) commitStage() {
 			break
 		}
 		if u.isMem && !u.isLoad {
-			// Stores write the data cache at commit and need a port
-			// (paper §3.1); LVC store commits participate in access
-			// combining.
-			pos := c.queueIndex(u)
-			if !c.grantAccess(u, pos) {
-				c.stats.StorePortStalls++
+			// Stores write their stream's cache at commit and need a
+			// port (paper §3.1); commits on a combining stream
+			// participate in access combining. CommitStore requires the
+			// store to be its stream's oldest entry — commit order is
+			// program order, so anything else would be a pipeline bug.
+			status, combined := c.streams[u.stream].CommitStore(c.now, u, u.ef.Addr)
+			if status != memsys.CommitOK {
+				// Port or MSHR stall: retry next cycle. On an MSHR
+				// stall the port stays consumed, as it would in
+				// hardware.
 				break
 			}
-			if _, ok := c.cacheFor(u.queue).Access(c.now, u.ef.Addr, true); !ok {
-				// All MSHRs busy: retry next cycle. The port stays
-				// consumed, as it would in hardware.
-				c.stats.StoreMSHRStalls++
-				break
-			}
+			u.combined = u.combined || combined
 		}
 		c.rob = c.rob[1:]
 		if u.isMem {
-			c.removeFromQueue(u)
+			c.streams[u.stream].Retire(u)
 		}
 		c.emitTrace(u, c.now, false)
 		c.stats.Committed++
 		if c.cfg.MaxInsts > 0 && c.stats.Committed >= c.cfg.MaxInsts {
 			c.fetchDone = true
 			c.rob = c.rob[:0]
-			c.lsq = c.lsq[:0]
-			c.lvaq = c.lvaq[:0]
+			for _, s := range c.streams {
+				s.Drain()
+			}
 			return
 		}
-	}
-}
-
-func (c *Core) queueIndex(u *uop) int {
-	q := c.queueSlice(u.queue)
-	for i, v := range q {
-		if v == u {
-			return i
-		}
-	}
-	return -1
-}
-
-func (c *Core) removeFromQueue(u *uop) {
-	q := c.queueSlice(u.queue)
-	i := c.queueIndex(u)
-	if i < 0 {
-		return
-	}
-	q = append(q[:i], q[i+1:]...)
-	if u.queue == qLVAQ {
-		c.lvaq = q
-	} else {
-		c.lsq = q
 	}
 }
 
 // ---------------------------------------------------------------- memory
 
 func (c *Core) memoryStage() {
-	c.processQueue(qLSQ)
-	if c.cfg.Decoupled() {
-		c.processQueue(qLVAQ)
+	for _, s := range c.streams {
+		c.processStream(s)
 	}
-	c.stats.LSQOccupancy += uint64(len(c.lsq))
-	c.stats.LVAQOccupancy += uint64(len(c.lvaq))
+	for _, s := range c.streams {
+		s.TickOccupancy()
+	}
 }
 
-func (c *Core) processQueue(q queueID) {
-	queue := c.queueSlice(q)
-	for i, u := range queue {
+func (c *Core) processStream(s *memsys.Stream) {
+	s.Process(func(pos int, e memsys.Entry) {
+		u := e.(*uop)
 		if !u.isLoad {
 			c.updateStore(u)
-			continue
+			return
 		}
 		if u.accessDone {
-			continue
+			return
 		}
-		c.processLoad(queue, i, u)
-	}
+		c.processLoad(s, pos, u)
+	})
 }
 
 // updateStore tracks a store's operand readiness; a store is "completed"
@@ -133,11 +110,11 @@ func (c *Core) updateStore(u *uop) {
 	}
 }
 
-func (c *Core) processLoad(queue []*uop, i int, u *uop) {
-	// Fast data forwarding (§2.2.2): in the LVAQ, a store→load pair with
-	// the same base register, stack generation and offset can bypass
-	// before either effective address is computed.
-	if u.queue == qLVAQ && c.cfg.FastForward && c.tryFastForward(queue, i, u) {
+func (c *Core) processLoad(s *memsys.Stream, pos int, u *uop) {
+	// Fast data forwarding (§2.2.2): on a fast-forwarding stream, a
+	// store→load pair with the same base register, stack generation and
+	// offset can bypass before either effective address is computed.
+	if s.Spec.FastForward && c.tryFastForward(s, pos, u) {
 		return
 	}
 	if !u.addrKnown || u.addrAt > c.now {
@@ -145,123 +122,98 @@ func (c *Core) processLoad(queue []*uop, i int, u *uop) {
 	}
 
 	// A load may proceed only when the addresses of all previous stores
-	// in its queue are known (paper §3.1, applied per queue §2.1).
+	// in its stream are known (paper §3.1, applied per stream §2.1).
 	var match *uop
-	for j := i - 1; j >= 0; j-- {
-		s := queue[j]
-		if s.isLoad {
+	for j := pos - 1; j >= 0; j-- {
+		st := s.Queue.At(j).(*uop)
+		if st.isLoad {
 			continue
 		}
-		if !s.addrKnown || s.addrAt > c.now {
+		if !st.addrKnown || st.addrAt > c.now {
 			c.stats.LoadOrderStalls++
 			return
 		}
-		if u.overlaps(s) {
-			match = s
+		if u.overlaps(st) {
+			match = st
 			break
 		}
 	}
 	if match != nil {
 		if match.sameAccess(u) {
-			// Store-to-load forwarding inside the queue: 1 cycle, no
+			// Store-to-load forwarding inside the stream: 1 cycle, no
 			// cache access, no port.
 			if match.valueKnown && match.valueAt <= c.now {
 				u.readyAt = c.now + 1
 				u.completed, u.accessDone = true, true
 				u.fwdFrom = match
-				c.stats.FwdLoads++
-				if u.queue == qLVAQ {
-					c.stats.LVAQFwdLoads++
-				}
+				s.Stats.FwdLoads++
 			}
 			return
 		}
 		// Partially overlapping store: wait until it commits and drains
-		// from the queue, then access the cache.
+		// from the stream, then access the cache.
 		c.stats.PartialOverlapStalls++
 		return
 	}
 
-	if !c.grantAccess(u, i) {
-		c.stats.LoadPortStalls++
+	granted, combined := s.Grant(pos, u.ef.Addr, true)
+	if !granted {
+		s.Stats.LoadPortStalls++
 		return
 	}
-	ready, ok := c.cacheFor(u.queue).Access(c.now, u.ef.Addr, false)
+	u.combined = u.combined || combined
+	ready, ok := s.Cache.Access(c.now, u.ef.Addr, false)
 	if !ok {
-		c.stats.LoadMSHRStalls++
+		s.Stats.LoadMSHRStalls++
 		return
 	}
 	u.readyAt = ready
 	u.completed, u.accessDone = true, true
 }
 
-// tryFastForward implements the offset-based LVAQ bypass. The scan walks
-// older LVAQ entries; it stops (and the load falls back to the normal
-// path) at any frame-generation boundary or at any store whose offset is
-// unknown (non-$sp/$fp base), because such a store might alias the load.
-func (c *Core) tryFastForward(queue []*uop, i int, u *uop) bool {
+// tryFastForward implements the offset-based bypass on a fast-forwarding
+// stream. The scan walks older entries; it stops (and the load falls back
+// to the normal path) at any frame-generation boundary or at any store
+// whose offset is unknown (non-$sp/$fp base), because such a store might
+// alias the load.
+func (c *Core) tryFastForward(s *memsys.Stream, pos int, u *uop) bool {
 	if u.accessDone {
 		return true
 	}
 	if u.dual || (u.baseReg != isa.RegSP && u.baseReg != isa.RegFP) {
 		return false
 	}
-	for j := i - 1; j >= 0; j-- {
-		s := queue[j]
-		if s.isLoad {
+	for j := pos - 1; j >= 0; j-- {
+		st := s.Queue.At(j).(*uop)
+		if st.isLoad {
 			continue
 		}
-		if s.dual {
+		if st.dual {
 			// Unresolved ambiguous store: might alias anything.
 			return false
 		}
-		if s.spGen != u.spGen {
+		if st.spGen != u.spGen {
 			return false
 		}
-		if s.baseReg != isa.RegSP && s.baseReg != isa.RegFP {
+		if st.baseReg != isa.RegSP && st.baseReg != isa.RegFP {
 			return false
 		}
-		if s.baseReg == u.baseReg && s.ef.Inst.Imm == u.ef.Inst.Imm {
-			if s.ef.Bytes != u.ef.Bytes {
+		if st.baseReg == u.baseReg && st.ef.Inst.Imm == u.ef.Inst.Imm {
+			if st.ef.Bytes != u.ef.Bytes {
 				return false
 			}
-			if s.valueKnown && s.valueAt <= c.now {
+			if st.valueKnown && st.valueAt <= c.now {
 				u.readyAt = c.now + 1
 				u.completed, u.accessDone = true, true
-				u.fwdFrom = s
+				u.fwdFrom = st
 				u.fastForwarded = true
-				c.stats.FastFwdLoads++
+				s.Stats.FastFwdLoads++
 				return true
 			}
 			return false // right store, data not yet ready
 		}
 	}
 	return false
-}
-
-// grantAccess arbitrates a cache port for one access this cycle. On the
-// LVC, a granted access opens a combining window: up to CombineWidth-1
-// further same-kind accesses to the same line from nearby LVAQ entries
-// ride along without consuming another port (§2.2.2).
-func (c *Core) grantAccess(u *uop, pos int) bool {
-	if u.queue == qLVAQ && c.combineLeft > 0 && c.combineIsLoad == u.isLoad &&
-		c.lvc.SameLine(c.combineLine, u.ef.Addr) &&
-		pos >= 0 && pos-c.combineAnchor < c.cfg.CombineWidth {
-		c.combineLeft--
-		u.combined = true
-		c.stats.CombinedAccesses++
-		return true
-	}
-	if !c.portsFor(u.queue).grant(u.ef.Addr, !u.isLoad) {
-		return false
-	}
-	if u.queue == qLVAQ && c.cfg.CombineWidth > 1 {
-		c.combineLine = u.ef.Addr
-		c.combineLeft = c.cfg.CombineWidth - 1
-		c.combineIsLoad = u.isLoad
-		c.combineAnchor = pos
-	}
-	return true
 }
 
 // ---------------------------------------------------------------- issue
@@ -347,18 +299,12 @@ func (c *Core) dispatchStage() {
 		}
 		in := ef.Inst
 
-		var q queueID
-		var dual bool
+		var local, dual bool
+		var target int
 		if in.IsMem() {
-			q, dual = c.steer(ef)
-			full := func(qq queueID) bool {
-				limit := c.cfg.LSQSize
-				if qq == qLVAQ {
-					limit = c.cfg.LVAQSize
-				}
-				return len(c.queueSlice(qq)) >= limit
-			}
-			if full(q) || (dual && full(otherQueue(q))) {
+			local, dual = c.steer(ef)
+			target = c.route(local)
+			if c.streams[target].Full() || (dual && c.streams[c.route(!local)].Full()) {
 				// Hold the effect for the next cycle.
 				c.pending = &ef
 				c.stats.QueueFullStalls++
@@ -378,7 +324,7 @@ func (c *Core) dispatchStage() {
 		if in.IsMem() {
 			u.isMem = true
 			u.isLoad = in.IsLoad()
-			u.queue = q
+			u.stream = target
 			u.dual = dual
 			u.baseReg = in.BaseReg()
 			u.spGen = c.spGen
@@ -420,21 +366,11 @@ func (c *Core) dispatchStage() {
 					c.stats.LocalStores++
 				}
 			}
-			if q == qLVAQ {
-				c.lvaq = append(c.lvaq, u)
-				c.stats.LVAQDispatched++
-			} else {
-				c.lsq = append(c.lsq, u)
-				c.stats.LSQDispatched++
-			}
+			c.streams[target].Dispatch(u)
 			if dual {
-				// The shadow copy occupies the other queue until the
+				// The shadow copy occupies the other stream until the
 				// address resolves.
-				if q == qLVAQ {
-					c.lsq = append(c.lsq, u)
-				} else {
-					c.lvaq = append(c.lvaq, u)
-				}
+				c.streams[c.route(!local)].Insert(u)
 				c.stats.DualInserted++
 			}
 		}
@@ -493,15 +429,15 @@ func (c *Core) nextEffect() (emu.Effect, bool) {
 
 // ------------------------------------------------------------- steering
 
-// steer classifies a memory access into a queue at dispatch (paper §2.1).
-// Under SteerDual, an unhinted access additionally reports dual=true: it
-// is inserted into both queues and the wrong copy is killed at address
+// steer classifies a memory access at dispatch (paper §2.1): local
+// accesses go to the local stream, everything else to the conventional
+// one. Under SteerDual, an unhinted access additionally reports dual=true:
+// it is inserted into both streams and the wrong copy is killed at address
 // resolution (§2.1 footnote 3).
-func (c *Core) steer(ef emu.Effect) (q queueID, dual bool) {
+func (c *Core) steer(ef emu.Effect) (local, dual bool) {
 	if !c.cfg.Decoupled() {
-		return qLSQ, false
+		return false, false
 	}
-	var local bool
 	switch c.cfg.Steering {
 	case config.SteerOracle:
 		local = isa.InStackRegion(ef.Addr)
@@ -514,7 +450,7 @@ func (c *Core) steer(ef emu.Effect) (q queueID, dual bool) {
 		case isa.HintNonLocal:
 			local = false
 		default:
-			// Ambiguous: occupy both queues, primary by base register.
+			// Ambiguous: occupy both streams, primary by base register.
 			local = ef.Inst.BaseReg() == isa.RegSP || ef.Inst.BaseReg() == isa.RegFP
 			dual = true
 		}
@@ -549,16 +485,13 @@ func (c *Core) steer(ef emu.Effect) (q queueID, dual bool) {
 			c.stats.PredictedSteers++
 		}
 	}
-	if local {
-		return qLVAQ, dual
-	}
-	return qLSQ, dual
+	return local, dual
 }
 
-// checkSteering verifies the queue assignment once the effective address
-// is known. A wrong-queue access is removed, re-inserted into the correct
-// queue (in program order) and the front end stalls for the recovery
-// penalty, as for a branch misprediction (§2.1).
+// checkSteering verifies the stream assignment once the effective address
+// is known. A wrongly-steered access is removed, re-inserted into the
+// correct stream (in program order) and the front end stalls for the
+// recovery penalty, as for a branch misprediction (§2.1).
 func (c *Core) checkSteering(u *uop) {
 	if !c.cfg.Decoupled() {
 		return
@@ -570,52 +503,32 @@ func (c *Core) checkSteering(u *uop) {
 	case c.cfg.Steering == config.SteerStatic && c.staticClass[u.ef.PC] == isa.HintNone:
 		c.regionPredictor[u.ef.PC] = local
 	}
+	right := c.route(local)
 	if u.dual {
-		// Kill the copy in the wrong queue; no recovery is needed
+		// Kill the copy in the wrong stream; no recovery is needed
 		// because the right copy is already in place (§2.1 footnote 3).
-		right := qLSQ
-		if local {
-			right = qLVAQ
-		}
-		if u.queue != right {
+		if u.stream != right {
 			c.stats.DualMisguessed++
-			if u.queue == qLVAQ {
-				c.stats.LVAQDispatched--
-				c.stats.LSQDispatched++
-			} else {
-				c.stats.LSQDispatched--
-				c.stats.LVAQDispatched++
-			}
+			c.streams[u.stream].Stats.Dispatched--
+			c.streams[right].Stats.Dispatched++
 		}
-		wrong := otherQueue(right)
-		u.queue = wrong // removeFromQueue removes from u.queue's list
-		c.removeFromQueue(u)
-		u.queue = right
+		c.streams[c.route(!local)].Remove(u)
+		u.stream = right
 		u.dual = false
 		return
 	}
-	if (u.queue == qLVAQ) == local {
+	if u.stream == right {
 		return
 	}
 	c.stats.Misroutes++
 	u.misrouted = true
 	// Recovery "like a branch misprediction" (§2.1): squash everything
-	// younger, re-steer this access into the correct queue, and stall the
+	// younger, re-steer this access into the correct stream, and stall the
 	// front end for the refill penalty. The squashed instructions replay
 	// from their recorded effects.
 	c.squashYounger(u)
-	c.removeFromQueue(u)
-	if u.queue == qLVAQ {
-		u.queue = qLSQ
-		c.lsq = append(c.lsq, u)
-		c.stats.LVAQDispatched--
-		c.stats.LSQDispatched++
-	} else {
-		u.queue = qLVAQ
-		c.lvaq = append(c.lvaq, u)
-		c.stats.LSQDispatched--
-		c.stats.LVAQDispatched++
-	}
+	memsys.Transfer(c.streams[u.stream], c.streams[right], u)
+	u.stream = right
 	if until := c.now + c.cfg.RecoveryPenalty; until > c.dispatchStallUntil {
 		c.dispatchStallUntil = until
 	}
@@ -652,19 +565,16 @@ func (c *Core) squashYounger(u *uop) {
 					c.stats.LocalStores--
 				}
 			}
-			if v.queue == qLVAQ {
-				c.stats.LVAQDispatched--
-			} else {
-				c.stats.LSQDispatched--
-			}
+			c.streams[v.stream].Stats.Dispatched--
 		}
 		effs = append(effs, v.ef)
 		c.emitTrace(v, 0, true)
 		c.stats.Squashed++
 	}
 	c.rob = c.rob[:idx+1]
-	c.lsq = filterOlder(c.lsq, u.seq)
-	c.lvaq = filterOlder(c.lvaq, u.seq)
+	for _, s := range c.streams {
+		s.Squash(u.seq)
+	}
 
 	// Rebuild the rename table from the surviving window.
 	for i := range c.renameTable {
@@ -687,22 +597,4 @@ func (c *Core) squashYounger(u *uop) {
 	}
 	c.replay = append(effs, c.replay...)
 	c.fetchDone = false // the replayed effects still need dispatching
-}
-
-func otherQueue(q queueID) queueID {
-	if q == qLVAQ {
-		return qLSQ
-	}
-	return qLVAQ
-}
-
-// filterOlder keeps only entries with seq <= maxSeq.
-func filterOlder(q []*uop, maxSeq uint64) []*uop {
-	out := q[:0]
-	for _, v := range q {
-		if v.seq <= maxSeq {
-			out = append(out, v)
-		}
-	}
-	return out
 }

@@ -138,5 +138,129 @@ func TestRandomProgramsMatchEmulator(t *testing.T) {
 			t.Fatalf("trial %d: impossible cycle count %d for %d insts",
 				trial, res.Cycles, res.Committed)
 		}
+		assertStreamsDrained(t, c, fmt.Sprintf("trial %d (%s)", trial, cfg.Name()))
+	}
+}
+
+// assertStreamsDrained checks the post-run stream invariant: a cleanly
+// finished pipeline leaves every access queue empty — no leaked dual
+// shadow copies, no misroute-recovery residue.
+func assertStreamsDrained(t *testing.T, c *Core, ctx string) {
+	t.Helper()
+	for _, s := range c.streams {
+		if occ := s.Occupancy(); occ != 0 {
+			t.Fatalf("%s: stream %s finished with occupancy %d, want 0",
+				ctx, s.Spec.Name, occ)
+		}
+		if left := s.Drain(); left != 0 {
+			t.Fatalf("%s: stream %s drained %d residual entries, want 0",
+				ctx, s.Spec.Name, left)
+		}
+	}
+}
+
+// corruptHints flips steering hints at random so SteerHint misroutes.
+func corruptHints(src string, rng *rand.Rand) string {
+	lines := strings.Split(src, "\n")
+	for i, ln := range lines {
+		if rng.Intn(2) != 0 {
+			continue
+		}
+		if strings.Contains(ln, "!nonlocal") {
+			lines[i] = strings.Replace(ln, "!nonlocal", "!local", 1)
+		} else if strings.Contains(ln, "!local") {
+			lines[i] = strings.Replace(ln, "!local", "!nonlocal", 1)
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+// stripHints removes all steering hints, making every access ambiguous
+// (dual-inserted under SteerDual).
+func stripHints(src string) string {
+	src = strings.ReplaceAll(src, "!nonlocal", "")
+	return strings.ReplaceAll(src, "!local", "")
+}
+
+// injectAliasedStackAccesses adds, to every loop iteration, accesses
+// through a non-$sp alias of the stack pointer: the base-register guess
+// classifies them non-local while they resolve local, so dual steering
+// misguesses and must kill its primary (not shadow) copy.
+func injectAliasedStackAccesses(src string) string {
+	snippet := "\taddi $sp, $sp, -8\n" +
+		"\taddi $s7, $sp, 0\n" +
+		"\tsw   $t0, 0($s7)\n" +
+		"\tlw   $t1, 0($s7)\n" +
+		"\tsw   $t2, 4($s7)\n" +
+		"\tlw   $t3, 4($s7)\n" +
+		"\taddi $sp, $sp, 8\n"
+	return strings.Replace(src, "outer:\n", "outer:\n"+snippet, 1)
+}
+
+// TestMisrouteAndDualLeaveNoResidue stresses the two recovery paths that
+// move entries between streams mid-flight: misroute recovery (squash and
+// re-steer) under corrupted hints, and dual insertion (shadow-copy kill)
+// with no hints at all. Both must still commit exactly the emulated
+// instruction stream and leave the streams empty.
+func TestMisrouteAndDualLeaveNoResidue(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	trials := 20
+	if testing.Short() {
+		trials = 6
+	}
+	var misroutes, duals, dualWrong uint64
+	for trial := 0; trial < trials; trial++ {
+		src := genRandomProgram(rng)
+		for _, tc := range []struct {
+			name     string
+			src      string
+			steering config.SteeringPolicy
+		}{
+			{"misroute", corruptHints(src, rng), config.SteerHint},
+			{"dual", injectAliasedStackAccesses(stripHints(src)), config.SteerDual},
+		} {
+			prog, err := asm.Assemble(fmt.Sprintf("%s%d.s", tc.name, trial), tc.src)
+			if err != nil {
+				t.Fatalf("trial %d %s: assemble: %v", trial, tc.name, err)
+			}
+			ref := emu.New(prog)
+			if _, err := ref.Run(10_000_000); err != nil {
+				t.Fatalf("trial %d %s: emulate: %v", trial, tc.name, err)
+			}
+			cfg := config.Default().WithPorts(2, 2)
+			cfg.Steering = tc.steering
+			c, err := New(prog, cfg)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, tc.name, err)
+			}
+			res, err := c.Run()
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, tc.name, err)
+			}
+			if res.Committed != ref.InstCount {
+				t.Fatalf("trial %d %s: committed %d, want %d",
+					trial, tc.name, res.Committed, ref.InstCount)
+			}
+			for i := range ref.Output {
+				if res.Output[i] != ref.Output[i] {
+					t.Fatalf("trial %d %s: output[%d] = %d, want %d",
+						trial, tc.name, i, res.Output[i], ref.Output[i])
+				}
+			}
+			assertStreamsDrained(t, c, fmt.Sprintf("trial %d %s", trial, tc.name))
+			misroutes += res.Misroutes
+			duals += res.DualInserted
+			dualWrong += res.DualMisguessed
+		}
+	}
+	// The stress must actually exercise the recovery paths.
+	if misroutes == 0 {
+		t.Error("corrupted hints produced no misroutes")
+	}
+	if duals == 0 {
+		t.Error("hint-free programs produced no dual insertions")
+	}
+	if dualWrong == 0 {
+		t.Error("dual steering never misguessed; wrong-copy kill untested")
 	}
 }

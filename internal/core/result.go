@@ -5,10 +5,14 @@ import (
 	"strings"
 
 	"repro/internal/cache"
+	"repro/internal/memsys"
 	"repro/internal/stats"
 )
 
-// Stats are the raw counters collected while simulating.
+// Stats are the raw counters collected while simulating. The per-stream
+// counters (dispatch counts, forwarding, port/MSHR stalls, occupancy) are
+// collected by the streams themselves (memsys.Stats) and aggregated into
+// the legacy LSQ/LVAQ-named fields when the result is built.
 type Stats struct {
 	Cycles    uint64
 	Committed uint64
@@ -61,11 +65,24 @@ type Stats struct {
 	FetchError error
 }
 
+// StreamResult is the per-stream view of a run: the stream's own counters
+// plus its cache behaviour.
+type StreamResult struct {
+	Name  string
+	Local bool
+	Stats memsys.Stats
+	Cache cache.Stats
+}
+
 // Result is everything a simulation run produces.
 type Result struct {
 	Stats
 
 	Config string // the "(N+M)" name
+
+	// Streams holds one entry per memory stream, in steering order
+	// (conventional stream first in the paper's configuration).
+	Streams []StreamResult
 
 	L1  cache.Stats
 	LVC cache.Stats
@@ -130,6 +147,11 @@ func (r *Result) String() string {
 	p("stalls            rob %d, queue %d, fu %d, ldport %d, stport %d, order %d\n",
 		r.ROBFullStalls, r.QueueFullStalls, r.FUStalls,
 		r.LoadPortStalls, r.StorePortStalls, r.LoadOrderStalls)
+	for _, s := range r.Streams {
+		p("stream %-11s %d dispatched, fwd %d (fast %d), combined %d, avg occ %.1f\n",
+			s.Name, s.Stats.Dispatched, s.Stats.FwdLoads, s.Stats.FastFwdLoads,
+			s.Stats.Combined, stats.Ratio(s.Stats.Occupancy, r.Cycles))
+	}
 	return b.String()
 }
 
@@ -137,15 +159,34 @@ func (c *Core) result() *Result {
 	r := &Result{
 		Stats:     c.stats,
 		Config:    c.cfg.Name(),
-		L1:        c.l1.Stats,
 		L2:        c.l2.Stats,
 		MemReads:  c.mem.Reads,
 		MemWrites: c.mem.Writes,
 		Output:    c.emu.Output,
 		FOutput:   c.emu.FOutput,
 	}
-	if c.lvc != nil {
-		r.LVC = c.lvc.Stats
+	for _, s := range c.streams {
+		st := s.Stats
+		r.Streams = append(r.Streams, StreamResult{
+			Name: s.Spec.Name, Local: s.Spec.Local, Stats: st, Cache: s.Cache.Stats,
+		})
+		r.FwdLoads += st.FwdLoads
+		r.FastFwdLoads += st.FastFwdLoads
+		r.CombinedAccesses += st.Combined
+		r.LoadPortStalls += st.LoadPortStalls
+		r.StorePortStalls += st.StorePortStalls
+		r.LoadMSHRStalls += st.LoadMSHRStalls
+		r.StoreMSHRStalls += st.StoreMSHRStalls
+		if s.Spec.Local {
+			r.LVAQDispatched += st.Dispatched
+			r.LVAQFwdLoads += st.FwdLoads
+			r.LVAQOccupancy += st.Occupancy
+			r.LVC = s.Cache.Stats
+		} else {
+			r.LSQDispatched += st.Dispatched
+			r.LSQOccupancy += st.Occupancy
+			r.L1 = s.Cache.Stats
+		}
 	}
 	if c.annotTLB != nil {
 		r.TLBHits = c.annotTLB.Hits

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -62,7 +63,7 @@ func (r *Runner) program(w workload.Workload) *asm.Program {
 }
 
 func cfgKey(name string, cfg config.Config) string {
-	return fmt.Sprintf("%s|%+v", name, cfg)
+	return name + "|" + cfg.Key()
 }
 
 // Result simulates workload w under cfg (cached).
@@ -131,7 +132,8 @@ func (r *Runner) Profile(w workload.Workload) (*profile.Profile, error) {
 }
 
 // Prefetch runs the given (workload, config) pairs concurrently to warm
-// the cache, bounded by par simultaneous simulations.
+// the cache, bounded by par simultaneous simulations. Every failure is
+// reported: the returned error joins the errors of all failed runs.
 func (r *Runner) Prefetch(pairs []Pair, par int) error {
 	if par < 1 {
 		par = 1
@@ -152,7 +154,11 @@ func (r *Runner) Prefetch(pairs []Pair, par int) error {
 	}
 	wg.Wait()
 	close(errCh)
-	return <-errCh // nil if empty
+	var errs []error
+	for err := range errCh {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
 }
 
 // Pair names one simulation.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"strings"
 	"sync"
 	"testing"
 
@@ -36,6 +37,53 @@ func TestRunnerConcurrentSameKey(t *testing.T) {
 	for i := 1; i < goroutines; i++ {
 		if results[i] != results[0] {
 			t.Fatal("concurrent same-key requests ran separate simulations")
+		}
+	}
+}
+
+// TestRunnerCacheHitsOnEqualConfigs verifies the cache is keyed on the
+// canonical config.Key(): independently-built but equal configurations hit
+// the same cached run, while any field difference forces a fresh one.
+func TestRunnerCacheHitsOnEqualConfigs(t *testing.T) {
+	r := NewRunner(0.02)
+	w, err := workload.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.Result(w, config.Default().WithPorts(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Result(w, config.Default().WithPorts(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("equal configs missed the cache")
+	}
+	c, err := r.Result(w, config.Default().WithPorts(2, 2).WithOptimizations(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("different configs collided in the cache")
+	}
+}
+
+// TestPrefetchAggregatesErrors checks that Prefetch reports every failed
+// run, not just an arbitrary one.
+func TestPrefetchAggregatesErrors(t *testing.T) {
+	r := NewRunner(0.02)
+	ws := workload.Integers()[:2]
+	bad := config.Default()
+	bad.IssueWidth = 0 // fails validation in core.New
+	err := r.Prefetch([]Pair{{W: ws[0], Cfg: bad}, {W: ws[1], Cfg: bad}}, 2)
+	if err == nil {
+		t.Fatal("Prefetch with invalid configs returned nil error")
+	}
+	for _, w := range ws {
+		if !strings.Contains(err.Error(), w.Name) {
+			t.Errorf("aggregated error missing failure for %s: %v", w.Name, err)
 		}
 	}
 }

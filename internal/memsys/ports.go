@@ -1,0 +1,73 @@
+package memsys
+
+import (
+	"math/bits"
+
+	"repro/internal/config"
+)
+
+// Ports tracks one cache's port availability within the current cycle,
+// under one of the paper's §1 multi-porting schemes.
+type Ports struct {
+	model     config.PortModel
+	limit     int
+	lineShift uint
+
+	used     int
+	bankBusy []bool
+}
+
+// NewPorts builds the per-cycle port state for a cache with the given
+// model, port count and line size.
+func NewPorts(model config.PortModel, limit, lineBytes int) Ports {
+	p := Ports{model: model, limit: limit,
+		lineShift: uint(bits.TrailingZeros(uint(lineBytes)))}
+	if model == config.PortsBanked {
+		p.bankBusy = make([]bool, limit)
+	}
+	return p
+}
+
+// Reset frees all ports; called once per cycle.
+func (p *Ports) Reset() {
+	p.used = 0
+	for i := range p.bankBusy {
+		p.bankBusy[i] = false
+	}
+}
+
+// Grant tries to allocate a port for an access this cycle.
+func (p *Ports) Grant(addr uint32, isStore bool) bool {
+	switch p.model {
+	case config.PortsBanked:
+		// Line-interleaved single-ported banks: same-bank accesses
+		// conflict.
+		bank := int(addr>>p.lineShift) % p.limit
+		if p.bankBusy[bank] {
+			return false
+		}
+		p.bankBusy[bank] = true
+		return true
+	case config.PortsReplicated:
+		// Stores broadcast to every replica and need all ports; loads
+		// can use any single free replica.
+		if isStore {
+			if p.used != 0 {
+				return false
+			}
+			p.used = p.limit
+			return true
+		}
+		if p.used >= p.limit {
+			return false
+		}
+		p.used++
+		return true
+	default: // ideal
+		if p.used >= p.limit {
+			return false
+		}
+		p.used++
+		return true
+	}
+}

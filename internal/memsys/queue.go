@@ -1,0 +1,141 @@
+package memsys
+
+import "fmt"
+
+// Queue is a program-ordered ring buffer of in-flight memory accesses.
+// Position 0 is the oldest entry. Entries carry their own position ticket
+// (in their Node), so membership and index lookups are O(1); pushes and
+// head pops are O(1); mid-queue removal shifts the younger side and is
+// reserved for the rare recovery paths (misroutes, dual-copy kills).
+type Queue struct {
+	id   int
+	buf  []Entry // power-of-two ring
+	head int     // buf index of position 0
+	n    int
+	base uint64 // ticket of position 0
+}
+
+// NewQueue returns an empty queue for stream id with at least the given
+// capacity. The queue grows if pushed beyond it (recovery paths may
+// transiently exceed the architectural size).
+func NewQueue(id, capacity int) *Queue {
+	if id < 0 || id >= MaxStreams {
+		panic(fmt.Sprintf("memsys: stream id %d out of range [0,%d)", id, MaxStreams))
+	}
+	c := 16
+	for c < capacity {
+		c <<= 1
+	}
+	return &Queue{id: id, buf: make([]Entry, c)}
+}
+
+// Len returns the number of entries in the queue.
+func (q *Queue) Len() int { return q.n }
+
+// At returns the entry at position i (0 = oldest).
+func (q *Queue) At(i int) Entry {
+	return q.buf[(q.head+i)&(len(q.buf)-1)]
+}
+
+// Head returns the oldest entry; the queue must be non-empty.
+func (q *Queue) Head() Entry { return q.At(0) }
+
+// Contains reports whether e currently occupies this queue.
+func (q *Queue) Contains(e Entry) bool { return e.QueueNode().in[q.id] }
+
+// IndexOf returns e's position (0 = oldest), or -1 if e is not in the
+// queue. O(1): the position is derived from the entry's ticket.
+func (q *Queue) IndexOf(e Entry) int {
+	nd := e.QueueNode()
+	if !nd.in[q.id] {
+		return -1
+	}
+	return int(nd.tick[q.id] - q.base)
+}
+
+// Push appends e at the tail. Entries must be pushed in program order; e
+// must not already be in this queue.
+func (q *Queue) Push(e Entry) {
+	nd := e.QueueNode()
+	if nd.in[q.id] {
+		panic("memsys: entry pushed twice into one stream")
+	}
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = e
+	nd.tick[q.id] = q.base + uint64(q.n)
+	nd.in[q.id] = true
+	q.n++
+}
+
+func (q *Queue) grow() {
+	nb := make([]Entry, 2*len(q.buf))
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.At(i)
+	}
+	q.buf, q.head = nb, 0
+}
+
+// PopHead removes and returns the oldest entry.
+func (q *Queue) PopHead() Entry {
+	e := q.Head()
+	e.QueueNode().in[q.id] = false
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	q.base++
+	return e
+}
+
+// Remove deletes e from the queue. Removing the head is O(1); a mid-queue
+// removal shifts the younger entries down one position (their tickets are
+// updated in place). Removing an entry that is not in the queue is a
+// pipeline bug and panics — the slice-based predecessor silently ignored
+// it, handing index -1 to port arbitration.
+func (q *Queue) Remove(e Entry) {
+	i := q.IndexOf(e)
+	if i < 0 {
+		panic("memsys: removing entry not in stream")
+	}
+	if i == 0 {
+		q.PopHead()
+		return
+	}
+	mask := len(q.buf) - 1
+	for j := i; j < q.n-1; j++ {
+		moved := q.buf[(q.head+j+1)&mask]
+		q.buf[(q.head+j)&mask] = moved
+		moved.QueueNode().tick[q.id]--
+	}
+	q.buf[(q.head+q.n-1)&mask] = nil
+	q.n--
+	e.QueueNode().in[q.id] = false
+}
+
+// TruncateYounger removes every entry with sequence number greater than
+// maxSeq (a program-order suffix) and returns how many were removed.
+func (q *Queue) TruncateYounger(maxSeq uint64) int {
+	removed := 0
+	mask := len(q.buf) - 1
+	for q.n > 0 {
+		tail := q.buf[(q.head+q.n-1)&mask]
+		if tail.OrderSeq() <= maxSeq {
+			break
+		}
+		tail.QueueNode().in[q.id] = false
+		q.buf[(q.head+q.n-1)&mask] = nil
+		q.n--
+		removed++
+	}
+	return removed
+}
+
+// Clear empties the queue and returns how many entries were dropped.
+func (q *Queue) Clear() int {
+	dropped := q.n
+	for q.n > 0 {
+		q.PopHead()
+	}
+	return dropped
+}

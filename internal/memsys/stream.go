@@ -1,0 +1,182 @@
+package memsys
+
+import (
+	"repro/internal/cache"
+	"repro/internal/config"
+)
+
+// Stats are the counters one stream collects. The pipeline aggregates
+// them into its legacy LSQ/LVAQ-named result fields.
+type Stats struct {
+	Dispatched uint64 // accesses steered here (primary copies only)
+
+	FwdLoads     uint64 // store→load forwards inside this queue
+	FastFwdLoads uint64 // offset-based forwards before address generation
+	Combined     uint64 // accesses that rode a shared port grant
+
+	LoadPortStalls  uint64
+	StorePortStalls uint64
+	LoadMSHRStalls  uint64
+	StoreMSHRStalls uint64
+
+	Occupancy uint64 // integral of queue length over cycles
+}
+
+// CommitStatus is the outcome of a store's commit-time cache access.
+type CommitStatus uint8
+
+const (
+	// CommitOK: port granted and the cache accepted the write.
+	CommitOK CommitStatus = iota
+	// CommitPortStall: no port this cycle; retry next cycle.
+	CommitPortStall
+	// CommitMSHRStall: port consumed but all MSHRs busy; retry next cycle.
+	CommitMSHRStall
+)
+
+// Stream is one memory access stream: a program-ordered access queue in
+// front of a cache, the per-cycle port state of that cache, and the
+// stream's statistics. The pipeline steers each memory instruction to a
+// stream at dispatch and drives all streams uniformly every cycle.
+type Stream struct {
+	ID    int
+	Spec  config.StreamSpec
+	Queue *Queue
+	Cache *cache.Cache
+	Ports Ports
+	Stats Stats
+
+	// Access-combining window (§2.2.2), reset each cycle: one port grant
+	// covers up to Spec.CombineWidth consecutive same-line accesses of
+	// the same kind.
+	combineLine   uint32
+	combineLeft   int
+	combineIsLoad bool
+	combineAnchor int
+}
+
+// NewStream builds a stream from its spec. The cache is constructed by
+// the caller (it plugs into a shared lower hierarchy).
+func NewStream(id int, spec config.StreamSpec, c *cache.Cache) *Stream {
+	return &Stream{
+		ID:    id,
+		Spec:  spec,
+		Queue: NewQueue(id, spec.QueueSize),
+		Cache: c,
+		Ports: NewPorts(spec.PortModel, spec.Ports, spec.Cache.LineBytes),
+	}
+}
+
+// Reset starts a new cycle: all ports free, combining window closed.
+func (s *Stream) Reset() {
+	s.Ports.Reset()
+	s.combineLeft = 0
+}
+
+// Occupancy returns the current number of queued accesses.
+func (s *Stream) Occupancy() int { return s.Queue.Len() }
+
+// TickOccupancy accumulates the per-cycle occupancy integral.
+func (s *Stream) TickOccupancy() { s.Stats.Occupancy += uint64(s.Queue.Len()) }
+
+// Full reports whether the queue has reached its architectural size.
+func (s *Stream) Full() bool { return s.Queue.Len() >= s.Spec.QueueSize }
+
+// Dispatch inserts a primary access at the queue tail and counts it.
+func (s *Stream) Dispatch(e Entry) {
+	s.Queue.Push(e)
+	s.Stats.Dispatched++
+}
+
+// Insert inserts an access at the queue tail without counting it as
+// dispatched here: the shadow copy of a dual-steered access, or an access
+// re-steered into this stream by misroute recovery (the recovery path
+// adjusts the dispatch counters explicitly).
+func (s *Stream) Insert(e Entry) { s.Queue.Push(e) }
+
+// Remove deletes an access from the queue (dual-copy kill, misroute
+// recovery). Panics if e is not in this stream.
+func (s *Stream) Remove(e Entry) { s.Queue.Remove(e) }
+
+// Process walks the queue in program order, calling fn with each entry and
+// its position. fn must not add or remove entries.
+func (s *Stream) Process(fn func(pos int, e Entry)) {
+	for i := 0; i < s.Queue.Len(); i++ {
+		fn(i, s.Queue.At(i))
+	}
+}
+
+// Grant arbitrates a cache port for one access at queue position pos this
+// cycle. A granted access on a combining stream opens a combining window:
+// up to CombineWidth-1 further same-kind accesses to the same line within
+// the window ride along without consuming another port (combined=true).
+func (s *Stream) Grant(pos int, addr uint32, isLoad bool) (ok, combined bool) {
+	if s.combineLeft > 0 && s.combineIsLoad == isLoad &&
+		s.Cache.SameLine(s.combineLine, addr) &&
+		pos >= 0 && pos-s.combineAnchor < s.Spec.CombineWidth {
+		s.combineLeft--
+		s.Stats.Combined++
+		return true, true
+	}
+	if !s.Ports.Grant(addr, !isLoad) {
+		return false, false
+	}
+	if s.Spec.CombineWidth > 1 {
+		s.combineLine = addr
+		s.combineLeft = s.Spec.CombineWidth - 1
+		s.combineIsLoad = isLoad
+		s.combineAnchor = pos
+	}
+	return true, false
+}
+
+// CommitStore performs a store's commit-time cache write: arbitrate a
+// port (participating in combining), then access the cache. The entry
+// must be the queue head — memory instructions commit in program order,
+// so a store that is not its stream's oldest entry is a pipeline bug and
+// panics. On CommitMSHRStall the port stays consumed, as it would in
+// hardware; the caller retries next cycle.
+func (s *Stream) CommitStore(now uint64, e Entry, addr uint32) (CommitStatus, bool) {
+	if s.Queue.Len() == 0 || s.Queue.Head() != e {
+		panic("memsys: CommitStore on an entry that is not the stream head")
+	}
+	ok, combined := s.Grant(0, addr, false)
+	if !ok {
+		s.Stats.StorePortStalls++
+		return CommitPortStall, false
+	}
+	if _, accepted := s.Cache.Access(now, addr, true); !accepted {
+		s.Stats.StoreMSHRStalls++
+		return CommitMSHRStall, false
+	}
+	return CommitOK, combined
+}
+
+// Retire removes a committing access from the queue head. Commit order is
+// program order, so the access must be the oldest entry; anything else is
+// a pipeline bug and panics.
+func (s *Stream) Retire(e Entry) {
+	if s.Queue.Len() == 0 || s.Queue.Head() != e {
+		panic("memsys: retiring an entry that is not the stream head")
+	}
+	s.Queue.PopHead()
+}
+
+// Squash removes every access younger than maxSeq and returns how many
+// were dropped.
+func (s *Stream) Squash(maxSeq uint64) int { return s.Queue.TruncateYounger(maxSeq) }
+
+// Drain empties the queue and returns how many entries were still
+// in flight — 0 for a cleanly drained pipeline, which tests assert.
+func (s *Stream) Drain() int { return s.Queue.Clear() }
+
+// Transfer moves a wrongly-steered access from one stream to another
+// (misroute recovery): it is removed from its old queue, appended to the
+// new one — recovery squashed everything younger, so the tail position is
+// its program-order slot — and the dispatch accounting follows it.
+func Transfer(from, to *Stream, e Entry) {
+	from.Remove(e)
+	to.Insert(e)
+	from.Stats.Dispatched--
+	to.Stats.Dispatched++
+}

@@ -39,6 +39,11 @@ type Config = config.Config
 // Result carries all statistics of one simulation run.
 type Result = core.Result
 
+// StreamResult is the per-memory-stream view of a run (one entry per
+// stream in Result.Streams: the conventional LSQ/L1 stream and, when
+// decoupled, the LVAQ/LVC stream).
+type StreamResult = core.StreamResult
+
 // Workload is one benchmark of the synthetic SPEC95-like suite.
 type Workload = workload.Workload
 
