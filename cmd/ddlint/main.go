@@ -1,7 +1,9 @@
 // Command ddlint runs the static access-region analyzer over assembled
 // programs and reports lint findings: steering hints the analysis proves
 // wrong, unbalanced $sp adjustments, stack addresses escaping to non-stack
-// memory, and statically out-of-frame accesses.
+// memory, and statically out-of-frame accesses. With -dep it also runs the
+// interprocedural dependence analysis and reports its informational
+// findings (missed forwarding, never-combining runs, ambiguous slots).
 //
 // Usage:
 //
@@ -10,8 +12,10 @@
 //	ddlint -workloads              # lint all generated workloads
 //	ddlint -json program.s         # machine-readable findings
 //	ddlint -dump program.s         # also print per-access classification
+//	ddlint -dep program.s          # also run the dependence analysis
 //
-// Exit status: 0 when no findings, 1 when any finding is reported,
+// Exit status: 0 when no warning- or error-severity findings, 1 when any
+// is reported (informational dependence findings never fail the run),
 // 2 on usage or assembly errors.
 package main
 
@@ -19,6 +23,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/analysis"
@@ -27,15 +32,24 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ddlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		jsonOut  = flag.Bool("json", false, "emit findings as JSON")
-		dump     = flag.Bool("dump", false, "print the per-access classification table")
-		wName    = flag.String("w", "", "lint the named generated workload instead of files")
-		allW     = flag.Bool("workloads", false, "lint every generated workload")
-		scale    = flag.Float64("scale", 0.1, "scale for generated workloads")
-		warnOnly = flag.Bool("errors-only", false, "report only error-severity findings")
+		jsonOut  = fs.Bool("json", false, "emit findings as JSON")
+		dump     = fs.Bool("dump", false, "print the per-access classification table")
+		dep      = fs.Bool("dep", false, "run the interprocedural dependence analysis too")
+		wName    = fs.String("w", "", "lint the named generated workload instead of files")
+		allW     = fs.Bool("workloads", false, "lint every generated workload")
+		scale    = fs.Float64("scale", 0.1, "scale for generated workloads")
+		warnOnly = fs.Bool("errors-only", false, "report only error-severity findings")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var progs []*asm.Program
 	switch {
@@ -46,27 +60,27 @@ func main() {
 	case *wName != "":
 		w, err := workload.ByName(*wName)
 		if err != nil {
-			usageErr(err)
+			return usageErr(stderr, err)
 		}
 		progs = append(progs, w.Program(*scale))
 	default:
-		if flag.NArg() == 0 {
-			usageErr(fmt.Errorf("need assembly files, -w <workload>, or -workloads"))
+		if fs.NArg() == 0 {
+			return usageErr(stderr, fmt.Errorf("need assembly files, -w <workload>, or -workloads"))
 		}
-		for _, path := range flag.Args() {
+		for _, path := range fs.Args() {
 			src, err := os.ReadFile(path)
 			if err != nil {
-				usageErr(err)
+				return usageErr(stderr, err)
 			}
 			prog, err := asm.Assemble(path, string(src))
 			if err != nil {
-				usageErr(err)
+				return usageErr(stderr, err)
 			}
 			progs = append(progs, prog)
 		}
 	}
 
-	found := 0
+	failures := 0
 	var jsonDiags []any
 	for _, prog := range progs {
 		res := analysis.Analyze(prog)
@@ -74,41 +88,57 @@ func main() {
 		if *warnOnly {
 			diags = res.Errors()
 		}
+		var depRes *analysis.DepResult
+		if *dep {
+			depRes = analysis.Dependences(prog, 0)
+			if !*warnOnly {
+				diags = append(append([]analysis.Diag(nil), diags...), depRes.Diags...)
+			}
+		}
 		for _, d := range diags {
-			found++
+			if d.Sev >= analysis.SevWarning {
+				failures++
+			}
 			if *jsonOut {
-				j := d.JSONForm()
 				jsonDiags = append(jsonDiags, struct {
 					Program string `json:"program"`
 					Diag    any    `json:"finding"`
-				}{prog.Name, j})
+				}{prog.Name, d.JSONForm()})
 			} else {
-				fmt.Printf("%s:%s\n", prog.Name, d)
+				fmt.Fprintf(stdout, "%s:%s\n", prog.Name, d)
 			}
 		}
 		if !*jsonOut {
-			fmt.Printf("%s: %s\n", prog.Name, res.Summarize())
+			fmt.Fprintf(stdout, "%s: %s\n", prog.Name, res.Summarize())
+			if depRes != nil {
+				fmt.Fprintf(stdout, "%s: dep: %d forwarding pairs, %d combining groups, %d functions\n",
+					prog.Name, len(depRes.Pairs), len(depRes.Groups), len(depRes.Funcs))
+			}
 			if *dump {
-				fmt.Print(res.Report())
+				fmt.Fprint(stdout, res.Report())
+				if depRes != nil {
+					fmt.Fprint(stdout, depRes.Report())
+				}
 			}
 		}
 	}
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if jsonDiags == nil {
 			jsonDiags = []any{}
 		}
 		if err := enc.Encode(jsonDiags); err != nil {
-			usageErr(err)
+			return usageErr(stderr, err)
 		}
 	}
-	if found > 0 {
-		os.Exit(1)
+	if failures > 0 {
+		return 1
 	}
+	return 0
 }
 
-func usageErr(err error) {
-	fmt.Fprintln(os.Stderr, "ddlint:", err)
-	os.Exit(2)
+func usageErr(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "ddlint:", err)
+	return 2
 }

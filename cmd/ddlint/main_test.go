@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestJSONGolden pins the -json wire format (including the per-finding
+// "pass" field) against a golden file. Regenerate with -update after a
+// deliberate schema change.
+func TestJSONGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-dep", "-json", "testdata/badhint.s"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1 (fixture has an error finding); stderr: %s", code, stderr.String())
+	}
+	const golden = "testdata/badhint.json"
+	if *update {
+		if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Errorf("JSON output drifted from golden file (run with -update if intended)\ngot:\n%s\nwant:\n%s",
+			stdout.String(), want)
+	}
+}
+
+// TestJSONSchema decodes the golden output and checks every finding
+// carries the stable fields, that both analysis passes are represented,
+// and that each pass name matches its finding kinds.
+func TestJSONSchema(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	run([]string{"-dep", "-json", "testdata/badhint.s"}, &stdout, &stderr)
+	var rows []struct {
+		Program string `json:"program"`
+		Finding struct {
+			Pass     string `json:"pass"`
+			Kind     string `json:"kind"`
+			Severity string `json:"severity"`
+			PC       string `json:"pc"`
+			Function string `json:"function"`
+			Inst     string `json:"inst"`
+			Msg      string `json:"msg"`
+		} `json:"finding"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &rows); err != nil {
+		t.Fatalf("output is not the expected JSON shape: %v\n%s", err, stdout.String())
+	}
+	if len(rows) == 0 {
+		t.Fatal("fixture produced no findings")
+	}
+	passes := map[string]bool{}
+	for _, r := range rows {
+		f := r.Finding
+		if r.Program == "" || f.Pass == "" || f.Kind == "" || f.Severity == "" ||
+			f.PC == "" || f.Inst == "" || f.Msg == "" {
+			t.Errorf("finding missing required fields: %+v", r)
+		}
+		if !strings.HasPrefix(f.PC, "0x") {
+			t.Errorf("pc %q not hex-prefixed", f.PC)
+		}
+		passes[f.Pass] = true
+		depKind := f.Kind == "missed-forwarding" || f.Kind == "never-combines" || f.Kind == "ambiguous-slot"
+		if depKind != (f.Pass == "depend") {
+			t.Errorf("kind %q attributed to pass %q", f.Kind, f.Pass)
+		}
+	}
+	if !passes["region"] || !passes["depend"] {
+		t.Errorf("expected findings from both passes, got %v", passes)
+	}
+}
+
+// TestDepInfoFindingsDoNotFail: informational dependence findings alone
+// must not produce a non-zero exit — only warnings and errors fail a run.
+func TestDepInfoFindingsDoNotFail(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-dep", "../../examples/asm/fib.s"}, &stdout, &stderr)
+	if code != 0 {
+		t.Errorf("exit code %d on a lint-clean program with -dep; output:\n%s%s",
+			code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "forwarding pairs") {
+		t.Errorf("missing dep summary line:\n%s", stdout.String())
+	}
+}
+
+// TestErrorsOnlySuppressesDepFindings: -errors-only keeps the historical
+// behavior of reporting only error-severity region findings.
+func TestErrorsOnlySuppressesDepFindings(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-dep", "-errors-only", "testdata/badhint.s"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "unsound-local-hint") {
+		t.Errorf("error finding suppressed:\n%s", out)
+	}
+	if strings.Contains(out, "missed-forwarding") || strings.Contains(out, "ambiguous-slot") {
+		t.Errorf("-errors-only leaked info findings:\n%s", out)
+	}
+}
+
+// TestUsageError: no inputs is a usage error (exit 2), not a lint failure.
+func TestUsageError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Errorf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "need assembly files") {
+		t.Errorf("missing usage message: %s", stderr.String())
+	}
+}

@@ -1,0 +1,20 @@
+# Fixture for the ddlint JSON golden test: one unsound region hint plus
+# stores the dependence pass must flag. Keep instruction order stable —
+# the golden file pins PCs.
+        .data
+val:    .word 7
+        .text
+main:
+        addi $sp, $sp, -16
+        sw   $s0, 0($sp) !local
+        la   $t0, val
+        lw   $s0, 0($t0) !local
+        move $t1, $sp
+        bnez $s0, skip
+        addi $t1, $t1, 4
+skip:
+        sw   $zero, 0($t1) !local
+        lw   $v0, 0($sp) !local
+        addi $sp, $sp, 16
+        out  $v0
+        halt

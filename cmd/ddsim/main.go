@@ -26,6 +26,7 @@ func main() {
 		ports   = flag.String("ports", "2+0", "(N+M) port configuration, e.g. 3+2")
 		scale   = flag.Float64("scale", 1.0, "workload scale factor")
 		opt     = flag.Bool("opt", false, "enable fast data forwarding and 2-way combining")
+		static  = flag.Bool("staticopt", false, "restrict the optimizations to statically-proven pairs/groups (implies -opt)")
 		combine = flag.Int("combine", 0, "access combining width (overrides -opt's 2)")
 		steer   = flag.String("steer", "hint", "steering policy: hint, sp, oracle, dual, static")
 		maxInst = flag.Uint64("maxinst", 0, "commit budget (0 = run to halt)")
@@ -46,11 +47,15 @@ func main() {
 		fatal(err)
 	}
 	cfg := config.Default().WithPorts(n, m)
-	if *opt {
+	if *opt || *static {
 		cfg = cfg.WithOptimizations(2)
 	}
 	if *combine > 0 {
 		cfg.CombineWidth = *combine
+	}
+	if *static {
+		cfg.ForwardStatic = true
+		cfg.CombineStatic = cfg.CombineWidth > 1
 	}
 	switch *steer {
 	case "hint":

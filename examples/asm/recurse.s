@@ -1,0 +1,45 @@
+# Recursion + an indirect call: the dependence-analyzer stress example.
+#
+# count(n) recurses with an 8-byte frame, so its transitive frame-write
+# summary grows by one frame per fixpoint round until the analyzer widens
+# it to [-inf, 0) — the saved slots still forward across the recursive
+# call because the widened interval stays strictly below the caller's
+# current $sp. bump is only ever called through $t0 (address-taken via
+# la), so the jalr in main kills main's forwarding pair and bump's entry
+# alignment is unconstrained. Check with `ddlint -dep examples/asm/recurse.s`.
+	.text
+	.global main
+main:
+	li   $a0, 6
+	jal  count
+	out  $v0
+	la   $t0, bump
+	addi $sp, $sp, -32
+	sw   $a0, 0($sp) !local
+	sw   $a1, 4($sp) !local
+	jalr $ra, $t0
+	lw   $a0, 0($sp) !local
+	addi $sp, $sp, 32
+	out  $a0
+	halt
+
+# count(n): n levels of recursion, one two-word frame per level.
+count:
+	addi $sp, $sp, -8
+	sw   $ra, 4($sp) !local
+	sw   $a0, 0($sp) !local
+	li   $v0, 0
+	blez $a0, count_done
+	addi $a0, $a0, -1
+	jal  count
+	lw   $a0, 0($sp) !local
+	add  $v0, $v0, $a0
+count_done:
+	lw   $ra, 4($sp) !local
+	addi $sp, $sp, 8
+	jr   $ra
+
+# bump: leaf helper reached only through the jalr above.
+bump:
+	addi $a1, $a1, 1
+	jr   $ra

@@ -304,11 +304,13 @@ func (a *analyzer) entryState(entryIdx int) regState {
 	return st
 }
 
-func (a *analyzer) analyzeFunc(entry int) {
-	blocks := a.g.funcBlocks(entry)
+// solve runs the forward dataflow over one function's blocks to a
+// fixpoint and returns the converged abstract register state at every
+// seeded block entry. Shared by the classification pass (analyzeFunc) and
+// the interprocedural dependence pass (Dependences).
+func (a *analyzer) solve(entry int, blocks []int) map[int]*blockState {
 	states := make(map[int]*blockState, len(blocks))
-	es := &blockState{seeded: true, reg: a.entryState(a.g.blocks[entry].start)}
-	states[entry] = es
+	states[entry] = &blockState{seeded: true, reg: a.entryState(a.g.blocks[entry].start)}
 	for _, bi := range blocks {
 		if _, ok := states[bi]; !ok {
 			states[bi] = &blockState{}
@@ -343,6 +345,12 @@ func (a *analyzer) analyzeFunc(entry int) {
 			}
 		}
 	}
+	return states
+}
+
+func (a *analyzer) analyzeFunc(entry int) {
+	blocks := a.g.funcBlocks(entry)
+	states := a.solve(entry, blocks)
 
 	// Final pass over the converged states: classify and lint.
 	fn := a.fnName(a.pcOf(a.g.blocks[entry].start))

@@ -1,0 +1,988 @@
+// Interprocedural store→load dependence analysis: the static half of the
+// paper's two LVAQ optimizations (§2.2.2). On top of the access-region
+// dataflow this file builds a call graph with context-insensitive
+// per-function summaries — the entry-$sp-relative byte interval a function
+// (transitively) may store to, and the set of possible entry-$sp
+// alignments modulo the LVC line size — and uses them to prove two
+// properties the hardware otherwise discovers dynamically:
+//
+//   - forwarding pairs: a store and a load that provably access the same
+//     entry-$sp+delta frame slot with the same width, such that on every
+//     path from the function entry to the load the store is the last
+//     write that may alias the slot (intervening calls are admitted when
+//     the callee's transitive frame-write summary provably misses the
+//     slot). Under config.ForwardStatic the fast data forwarding bypass
+//     is restricted to these pairs.
+//
+//   - combining groups: maximal runs of consecutive memory instructions
+//     in one basic block, all loads or all stores, all provably landing
+//     in the same LVC line for every reachable entry-$sp alignment of
+//     the enclosing function. Under config.CombineStatic the access
+//     combining window only opens for (and admits) members of one group.
+//
+// Soundness stance: a pair is claimed only when the last-writer dataflow
+// proves the singleton writer on all paths, calls included; a group is
+// claimed only when the same-line property holds for every alignment the
+// call-graph walk can reach. Indirect calls are assumed to target
+// address-taken labels (the same assumption buildCFG makes when it forms
+// entries from data words and la-materialized code addresses); both
+// assumptions are checked against emulator ground truth by the soundness
+// harness on all 12 workloads.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// DefaultLineBytes is the LVC line size assumed when the caller does not
+// supply one (the paper's 32-byte lines).
+const DefaultLineBytes = 32
+
+// maxAlignBits bounds the line sizes the alignment mask can represent.
+const maxAlignBits = 64
+
+// FwdPair is one statically-proven store→load forwarding pair.
+type FwdPair struct {
+	StorePC, LoadPC uint32
+	Slot            int64 // entry-$sp-relative byte offset of the shared slot
+	Bytes           int64
+	Fn              string
+}
+
+func (p FwdPair) String() string {
+	return fmt.Sprintf("%08x → %08x (slot %+d, %dB) in %s",
+		p.StorePC, p.LoadPC, p.Slot, p.Bytes, p.Fn)
+}
+
+// CombineGroup is one statically-proven run of same-line accesses.
+type CombineGroup struct {
+	PCs    []uint32 // members in program order
+	IsLoad bool
+	Fn     string
+}
+
+func (g CombineGroup) String() string {
+	kind := "stores"
+	if g.IsLoad {
+		kind = "loads"
+	}
+	pcs := make([]string, len(g.PCs))
+	for i, pc := range g.PCs {
+		pcs[i] = fmt.Sprintf("%08x", pc)
+	}
+	return fmt.Sprintf("{%s} %s in %s", strings.Join(pcs, ", "), kind, g.Fn)
+}
+
+// FuncSummary is the exported context-insensitive summary of one function.
+type FuncSummary struct {
+	Entry uint32
+	Name  string
+	// WritesUnknown: the function (transitively) may store to stack
+	// addresses the analysis cannot bound.
+	WritesUnknown bool
+	// [WriteLo, WriteHi) is the entry-$sp-relative byte interval the
+	// function (transitively) may store to within the stack region, valid
+	// when !WritesUnknown. WriteLo == math.MinInt64 after widening
+	// (recursion); WriteLo >= WriteHi means no stack writes at all.
+	WriteLo, WriteHi int64
+	// AlignMask is the bitset of reachable entry-$sp residues modulo the
+	// analyzed line size; 0 means the function was never seen called.
+	AlignMask uint64
+}
+
+// DepResult is the output of the interprocedural dependence analysis.
+type DepResult struct {
+	Prog      *asm.Program
+	LineBytes int
+	Pairs     []FwdPair      // sorted by load PC
+	Groups    []CombineGroup // sorted by first member PC
+	Funcs     []FuncSummary  // sorted by entry PC
+	// Diags are the dependence-pass findings (missed-forwarding,
+	// never-combines, ambiguous-slot), all informational; they are kept
+	// separate from Analysis.Diags so that the access-region lint contract
+	// ("workloads lint clean") is unaffected.
+	Diags []Diag
+}
+
+// ForwardTable returns the load-PC → store-PC map consumed by the timing
+// core under config.ForwardStatic.
+func (r *DepResult) ForwardTable() map[uint32]uint32 {
+	t := make(map[uint32]uint32, len(r.Pairs))
+	for _, p := range r.Pairs {
+		t[p.LoadPC] = p.StorePC
+	}
+	return t
+}
+
+// CombineTable returns the member-PC → group-id map consumed by the timing
+// core under config.CombineStatic.
+func (r *DepResult) CombineTable() map[uint32]int {
+	t := make(map[uint32]int)
+	for id, g := range r.Groups {
+		for _, pc := range g.PCs {
+			t[pc] = id
+		}
+	}
+	return t
+}
+
+// Report renders the proven pairs and groups for ddlint -dep.
+func (r *DepResult) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d forwarding pairs, %d combining groups\n", len(r.Pairs), len(r.Groups))
+	for _, p := range r.Pairs {
+		fmt.Fprintf(&b, "  pair  %s\n", p)
+	}
+	for _, g := range r.Groups {
+		fmt.Fprintf(&b, "  group %s\n", g)
+	}
+	return b.String()
+}
+
+// ------------------------------------------------------------- events
+
+type evKind uint8
+
+const (
+	evMem evKind = iota
+	evCall
+	evCallUnknown // JALR: target not statically resolvable
+)
+
+// depEvent is one dependence-relevant instruction of a function, with the
+// abstract facts the dependence dataflow needs, precomputed from the
+// converged register states.
+type depEvent struct {
+	idx  int // instruction index in prog.Text
+	kind evKind
+
+	// Memory access facts (kind == evMem).
+	isLoad   bool
+	slotOK   bool  // base is entry-$sp+delta with an exact offset
+	eff      int64 // slot offset: delta + displacement (valid when slotOK)
+	width    int64
+	nonstack bool // address range provably misses the stack region
+	// stackUnknown distinguishes "stack-derived, path-dependent offset"
+	// from a fully unknown base, for the ambiguous-slot diagnostic.
+	stackUnknown bool
+
+	// Call facts (kind == evCall).
+	target    int // callee entry block index
+	spdeltaOK bool
+	spdelta   int64
+}
+
+// fnInfo is the per-function working state of the dependence analysis.
+type fnInfo struct {
+	entry  int // entry block index
+	pc     uint32
+	name   string
+	blocks []int
+	states map[int]*blockState
+	events map[int][]depEvent // per block, in instruction order
+
+	// Summary fixpoint state.
+	sumUnknown   bool
+	sumLo, sumHi int64 // [lo, hi) stack-write interval, lo >= hi = empty
+	sumChanges   int
+
+	alignMask uint64
+}
+
+// depAnalyzer carries the whole-program state of the dependence pass.
+type depAnalyzer struct {
+	prog      *asm.Program
+	a         *analyzer
+	g         *cfg
+	lineBytes int
+	fns       map[int]*fnInfo // keyed by entry block index
+	order     []int           // entry block indexes, ascending
+}
+
+// Dependences runs the interprocedural store→load dependence analysis on
+// prog, assuming the given LVC line size for the combining-group proofs
+// (0 selects DefaultLineBytes).
+func Dependences(prog *asm.Program, lineBytes int) *DepResult {
+	if lineBytes <= 0 {
+		lineBytes = DefaultLineBytes
+	}
+	d := &depAnalyzer{
+		prog:      prog,
+		lineBytes: lineBytes,
+		fns:       make(map[int]*fnInfo),
+	}
+	d.a = &analyzer{
+		prog: prog,
+		g:    buildCFG(prog),
+		seen: make(map[string]bool),
+	}
+	d.g = d.a.g
+
+	// Two phases: register every function first so that call events can
+	// resolve forward references, then extract events.
+	for _, entry := range d.g.entries {
+		fn := &fnInfo{
+			entry:  entry,
+			pc:     d.a.pcOf(d.g.blocks[entry].start),
+			blocks: d.g.funcBlocks(entry),
+		}
+		fn.name = d.a.fnName(fn.pc)
+		fn.states = d.a.solve(entry, fn.blocks)
+		d.fns[entry] = fn
+		d.order = append(d.order, entry)
+	}
+	for _, entry := range d.order {
+		fn := d.fns[entry]
+		fn.events = make(map[int][]depEvent, len(fn.blocks))
+		for _, bi := range fn.blocks {
+			fn.events[bi] = d.blockEvents(fn, bi)
+		}
+	}
+
+	d.solveSummaries()
+	if lineBytes <= maxAlignBits {
+		d.solveAlignment()
+	}
+
+	res := &DepResult{Prog: prog, LineBytes: lineBytes}
+	d.claim(res)
+	for _, entry := range d.order {
+		fn := d.fns[entry]
+		res.Funcs = append(res.Funcs, FuncSummary{
+			Entry:         fn.pc,
+			Name:          fn.name,
+			WritesUnknown: fn.sumUnknown,
+			WriteLo:       fn.sumLo,
+			WriteHi:       fn.sumHi,
+			AlignMask:     fn.alignMask,
+		})
+	}
+	sort.Slice(res.Pairs, func(i, j int) bool { return res.Pairs[i].LoadPC < res.Pairs[j].LoadPC })
+	sort.Slice(res.Groups, func(i, j int) bool { return res.Groups[i].PCs[0] < res.Groups[j].PCs[0] })
+	sort.SliceStable(res.Diags, func(i, j int) bool {
+		if res.Diags[i].PC != res.Diags[j].PC {
+			return res.Diags[i].PC < res.Diags[j].PC
+		}
+		return res.Diags[i].Kind < res.Diags[j].Kind
+	})
+	return res
+}
+
+// blockEvents walks one block from its converged entry state and extracts
+// the dependence-relevant facts per instruction.
+func (d *depAnalyzer) blockEvents(fn *fnInfo, bi int) []depEvent {
+	bs := fn.states[bi]
+	if bs == nil || !bs.seeded {
+		return nil
+	}
+	st := bs.reg
+	b := &d.g.blocks[bi]
+	var evs []depEvent
+	for i := b.start; i < b.end; i++ {
+		in := d.prog.Text[i]
+		pc := d.a.pcOf(i)
+		switch {
+		case in.IsMem():
+			ev := depEvent{idx: i, kind: evMem, isLoad: in.IsLoad(), width: int64(in.MemBytes())}
+			base := st.get(in.BaseReg())
+			switch {
+			case base.k == kStack && base.deltaOK:
+				ev.slotOK = true
+				ev.eff = int64(base.delta) + int64(in.Imm)
+			case base.k == kStack:
+				ev.stackUnknown = true
+			default:
+				if cls, _ := classify(base, in.Imm, ev.width); cls == ClassNonLocal {
+					ev.nonstack = true
+				}
+			}
+			evs = append(evs, ev)
+		case in.Op == isa.JAL:
+			ev := depEvent{idx: i, kind: evCall, target: -1}
+			if t := textIndex(d.prog, uint32(in.Imm)); t >= 0 {
+				ev.target = d.g.blockOf[t]
+			}
+			if sp := st.get(isa.RegSP); sp.k == kStack && sp.deltaOK {
+				ev.spdeltaOK, ev.spdelta = true, int64(sp.delta)
+			}
+			if _, known := d.fns[ev.target]; !known {
+				ev.kind = evCallUnknown
+			}
+			evs = append(evs, ev)
+		case in.Op == isa.JALR:
+			evs = append(evs, depEvent{idx: i, kind: evCallUnknown})
+		}
+		step(&st, pc, in)
+	}
+	return evs
+}
+
+// ------------------------------------------------- frame-write summaries
+
+// satAdd is saturating int64 addition (summary bounds reach ±inf under
+// widening).
+func satAdd(a, b int64) int64 {
+	s := a + b
+	if a > 0 && b > 0 && s < 0 {
+		return math.MaxInt64
+	}
+	if a < 0 && b < 0 && s >= 0 {
+		return math.MinInt64
+	}
+	return s
+}
+
+// mergeInterval grows fn's stack-write interval; reports change.
+func (fn *fnInfo) mergeInterval(lo, hi int64) bool {
+	if lo >= hi {
+		return false
+	}
+	if fn.sumLo >= fn.sumHi { // empty so far
+		fn.sumLo, fn.sumHi = lo, hi
+		return true
+	}
+	changed := false
+	if lo < fn.sumLo {
+		fn.sumLo = lo
+		changed = true
+	}
+	if hi > fn.sumHi {
+		fn.sumHi = hi
+		changed = true
+	}
+	return changed
+}
+
+// summaryWidenLimit is how many times a function's interval may grow
+// before its bounds are widened to ±inf (recursive frame chains otherwise
+// descend one frame per iteration).
+const summaryWidenLimit = 8
+
+// solveSummaries computes, per function, the entry-$sp-relative byte
+// interval it may (transitively) store to within the stack region.
+func (d *depAnalyzer) solveSummaries() {
+	// Local effects first.
+	for _, entry := range d.order {
+		fn := d.fns[entry]
+		fn.sumLo, fn.sumHi = 0, 0 // empty
+		for _, bi := range fn.blocks {
+			for _, ev := range fn.events[bi] {
+				switch ev.kind {
+				case evMem:
+					if ev.isLoad || ev.nonstack {
+						continue
+					}
+					if ev.slotOK {
+						fn.mergeInterval(ev.eff, ev.eff+ev.width)
+					} else {
+						// May store anywhere in the stack region.
+						fn.sumUnknown = true
+					}
+				case evCallUnknown:
+					fn.sumUnknown = true
+				}
+			}
+		}
+	}
+
+	// Propagate callee effects to a fixpoint, widening slow-growing
+	// intervals (recursion) so the iteration terminates.
+	for changed := true; changed; {
+		changed = false
+		for _, entry := range d.order {
+			fn := d.fns[entry]
+			if fn.sumUnknown {
+				continue
+			}
+			for _, bi := range fn.blocks {
+				for _, ev := range fn.events[bi] {
+					if ev.kind != evCall {
+						continue
+					}
+					callee := d.fns[ev.target]
+					if callee.sumUnknown || !ev.spdeltaOK {
+						fn.sumUnknown = true
+						changed = true
+						break
+					}
+					if callee.sumLo >= callee.sumHi {
+						continue
+					}
+					if fn.mergeInterval(satAdd(ev.spdelta, callee.sumLo), satAdd(ev.spdelta, callee.sumHi)) {
+						fn.sumChanges++
+						if fn.sumChanges > summaryWidenLimit {
+							fn.sumLo = math.MinInt64
+						}
+						changed = true
+					}
+				}
+				if fn.sumUnknown {
+					break
+				}
+			}
+		}
+	}
+}
+
+// --------------------------------------------------- entry-$sp alignment
+
+// solveAlignment computes, per function, the bitset of reachable
+// entry-$sp residues modulo the line size: the program entry starts from
+// the loader's $sp; JAL edges shift the caller's residues by the callsite
+// $sp delta; address-taken functions (and targets of unknown-delta calls)
+// may be entered at any residue.
+func (d *depAnalyzer) solveAlignment() {
+	L := int64(d.lineBytes)
+	full := uint64(1)<<uint(L) - 1
+	if d.lineBytes == maxAlignBits {
+		full = ^uint64(0)
+	}
+	mod := func(x int64) uint { return uint(((x % L) + L) % L) }
+
+	// Address-taken entries: code addresses materialized by la/li or
+	// stored in the data segment (the buildCFG entry sources other than
+	// JAL targets), assumed callable from anywhere at any alignment.
+	jalTargets := make(map[int]bool)
+	for _, in := range d.prog.Text {
+		if in.Op == isa.JAL {
+			if t := textIndex(d.prog, uint32(in.Imm)); t >= 0 {
+				jalTargets[d.g.blockOf[t]] = true
+			}
+		}
+	}
+	progEntry := -1
+	if idx := textIndex(d.prog, d.prog.Entry); idx >= 0 {
+		progEntry = d.g.blockOf[idx]
+	}
+	for _, entry := range d.order {
+		fn := d.fns[entry]
+		if entry == progEntry {
+			fn.alignMask |= 1 << mod(int64(isa.StackBase))
+		}
+		if !jalTargets[entry] && entry != progEntry {
+			fn.alignMask = full // address-taken (la/data word) entry
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, entry := range d.order {
+			fn := d.fns[entry]
+			if fn.alignMask == 0 {
+				continue
+			}
+			for _, bi := range fn.blocks {
+				for _, ev := range fn.events[bi] {
+					if ev.kind != evCall {
+						continue
+					}
+					callee := d.fns[ev.target]
+					var add uint64
+					if !ev.spdeltaOK {
+						add = full
+					} else {
+						sh := mod(ev.spdelta)
+						for a := uint(0); a < uint(L); a++ {
+							if fn.alignMask&(1<<a) != 0 {
+								add |= 1 << ((a + sh) % uint(L))
+							}
+						}
+					}
+					if callee.alignMask|add != callee.alignMask {
+						callee.alignMask |= add
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// sameLineAll reports whether two slot accesses land in the same line for
+// every entry-$sp residue in mask, each access fully inside that line.
+func sameLineAll(mask uint64, lineBytes int, aEff, aW, bEff, bW int64) bool {
+	if mask == 0 {
+		return false
+	}
+	L := int64(lineBytes)
+	lineOf := func(x int64) int64 {
+		q := x / L
+		if x%L != 0 && x < 0 {
+			q--
+		}
+		return q
+	}
+	for a := int64(0); a < L && a < maxAlignBits; a++ {
+		if mask&(1<<uint(a)) == 0 {
+			continue
+		}
+		la := lineOf(a + aEff)
+		if lineOf(a+aEff+aW-1) != la || lineOf(a+bEff) != la || lineOf(a+bEff+bW-1) != la {
+			return false
+		}
+	}
+	return true
+}
+
+// ------------------------------------------------- last-writer dataflow
+
+// Writer lattice values (>= 0 is the store's instruction index).
+const (
+	wUninit  = -1 // no store to the slot yet on this path
+	wMulti   = -2 // different stores on different paths
+	wUnknown = -3 // killed by a may-alias store or call
+)
+
+func joinWriter(a, b int) int {
+	switch {
+	case a == b:
+		return a
+	case a == wUnknown || b == wUnknown:
+		return wUnknown
+	default:
+		return wMulti
+	}
+}
+
+type slotKey struct {
+	eff   int64
+	width int64
+}
+
+// claimable reports whether a slot is eligible for pair/group claims: a
+// proper local slot strictly below the function's incoming $sp.
+func (k slotKey) claimable() bool { return k.eff < 0 && k.eff+k.width <= 0 }
+
+type writerState struct {
+	seeded bool
+	w      []int // indexed like fnDep.slots
+}
+
+// fnDep is the per-function last-writer problem.
+type fnDep struct {
+	fn      *fnInfo
+	slots   []slotKey
+	slotIdx map[slotKey]int
+	states  map[int]*writerState
+	// killCause records, per slot, the most recent reason the dataflow
+	// demoted it to wUnknown — the reason chain for missed-forwarding
+	// diagnostics (informational, not path-precise).
+	killCause map[int]string
+}
+
+func overlap(aLo, aHi, bLo, bHi int64) bool { return aLo < bHi && bLo < aHi }
+
+func (d *depAnalyzer) newFnDep(fn *fnInfo) *fnDep {
+	fd := &fnDep{fn: fn, slotIdx: make(map[slotKey]int), killCause: make(map[int]string)}
+	for _, bi := range fn.blocks {
+		for _, ev := range fn.events[bi] {
+			if ev.kind != evMem || !ev.slotOK {
+				continue
+			}
+			k := slotKey{ev.eff, ev.width}
+			if !k.claimable() {
+				continue
+			}
+			if _, ok := fd.slotIdx[k]; !ok {
+				fd.slotIdx[k] = len(fd.slots)
+				fd.slots = append(fd.slots, k)
+			}
+		}
+	}
+	fd.states = make(map[int]*writerState, len(fn.blocks))
+	for _, bi := range fn.blocks {
+		fd.states[bi] = &writerState{}
+	}
+	es := fd.states[fn.entry]
+	es.seeded = true
+	es.w = make([]int, len(fd.slots))
+	for i := range es.w {
+		es.w[i] = wUninit
+	}
+	return fd
+}
+
+// apply mutates w with one event's effect, recording kill causes in
+// fd.killCause for the missed-forwarding reason chains.
+func (d *depAnalyzer) apply(fd *fnDep, ev depEvent, w []int) {
+	kill := func(i int, why string) {
+		w[i] = wUnknown
+		fd.killCause[i] = why
+	}
+	killAll := func(why string) {
+		for i := range w {
+			kill(i, why)
+		}
+	}
+	pc := d.a.pcOf(ev.idx)
+	switch ev.kind {
+	case evMem:
+		if ev.isLoad || ev.nonstack {
+			return
+		}
+		if !ev.slotOK {
+			killAll(fmt.Sprintf("may-alias store at %08x (unbounded stack address)", pc))
+			return
+		}
+		for i, k := range fd.slots {
+			if !overlap(ev.eff, ev.eff+ev.width, k.eff, k.eff+k.width) {
+				continue
+			}
+			if k.eff == ev.eff && k.width == ev.width {
+				w[i] = ev.idx
+			} else {
+				kill(i, fmt.Sprintf("partially overlapping store at %08x", pc))
+			}
+		}
+	case evCall:
+		callee := d.fns[ev.target]
+		if callee.sumUnknown || !ev.spdeltaOK {
+			killAll(fmt.Sprintf("call at %08x to %s (unbounded frame effects)", pc, callee.name))
+			return
+		}
+		if callee.sumLo >= callee.sumHi {
+			return
+		}
+		kLo, kHi := satAdd(ev.spdelta, callee.sumLo), satAdd(ev.spdelta, callee.sumHi)
+		for i, k := range fd.slots {
+			if overlap(kLo, kHi, k.eff, k.eff+k.width) {
+				kill(i, fmt.Sprintf("call at %08x to %s (may write slots [%d,%d))", pc, callee.name, kLo, kHi))
+			}
+		}
+	default: // evCallUnknown
+		killAll(fmt.Sprintf("indirect call at %08x", pc))
+	}
+}
+
+func mergeWriters(dst *writerState, src []int) bool {
+	if !dst.seeded {
+		dst.seeded = true
+		dst.w = append([]int(nil), src...)
+		return true
+	}
+	changed := false
+	for i := range src {
+		if nv := joinWriter(dst.w[i], src[i]); nv != dst.w[i] {
+			dst.w[i] = nv
+			changed = true
+		}
+	}
+	return changed
+}
+
+// solveWriters runs the last-writer dataflow for one function.
+func (d *depAnalyzer) solveWriters(fd *fnDep) {
+	fn := fd.fn
+	for changed := true; changed; {
+		changed = false
+		for _, bi := range fn.blocks {
+			bs := fd.states[bi]
+			if !bs.seeded {
+				continue
+			}
+			out := append([]int(nil), bs.w...)
+			for _, ev := range fn.events[bi] {
+				d.apply(fd, ev, out)
+			}
+			b := &d.g.blocks[bi]
+			for _, si := range b.succs {
+				if mergeWriters(fd.states[si], out) {
+					changed = true
+				}
+			}
+			if b.indirect {
+				for _, si := range fn.blocks {
+					if si != bi && mergeWriters(fd.states[si], out) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// --------------------------------------------------------------- claims
+
+// pairClaim and groupClaim track per-instruction claims across functions:
+// an instruction reachable from several entries keeps a claim only when
+// every analyzing function proves the identical one.
+type pairClaim struct {
+	store int
+	ok    bool
+}
+
+func (d *depAnalyzer) claim(res *DepResult) {
+	pairAt := make(map[int]*pairClaim) // load idx → claim
+	groupSig := make(map[int]string)   // member idx → group signature
+	groupBad := make(map[int]bool)     // member idx → conflicting claims
+	groups := make(map[string]CombineGroup)
+	memSeen := make(map[int]int) // mem idx → number of functions reaching it
+	inGroup := make(map[int]int) // mem idx → times claimed in a group
+
+	for _, entry := range d.order {
+		fn := d.fns[entry]
+		fd := d.newFnDep(fn)
+		d.solveWriters(fd)
+
+		for _, bi := range fn.blocks {
+			bs := fd.states[bi]
+			if bs == nil || !bs.seeded {
+				continue
+			}
+			w := append([]int(nil), bs.w...)
+
+			// Pairs + diagnostics walk.
+			for _, ev := range fn.events[bi] {
+				if ev.kind == evMem {
+					memSeen[ev.idx]++
+					d.diagnoseMem(res, fn, fd, ev, w)
+					if ev.isLoad && ev.slotOK {
+						k := slotKey{ev.eff, ev.width}
+						if si, ok := fd.slotIdx[k]; ok && w[si] >= 0 {
+							st := w[si]
+							if pc, seen := pairAt[ev.idx]; seen {
+								if pc.store != st {
+									pc.ok = false
+								}
+							} else {
+								pairAt[ev.idx] = &pairClaim{store: st, ok: true}
+							}
+						} else if pc, seen := pairAt[ev.idx]; seen {
+							pc.ok = false // another function proves nothing
+						}
+					}
+				}
+				d.apply(fd, ev, w)
+			}
+
+			// Combining-group runs.
+			d.claimRuns(res, fn, bi, groups, groupSig, groupBad, inGroup)
+		}
+	}
+
+	// Drop pair claims not proven identically by every reaching function:
+	// pairAt starts ok and is invalidated on conflict; a load reached by
+	// a function that proved nothing was invalidated above, but a load
+	// whose later functions never reached it at all keeps its claim (the
+	// dataflow ran under every entry that can execute it).
+	for idx, pc := range pairAt {
+		if !pc.ok {
+			continue
+		}
+		storeEff, storeW, fnName := d.slotOfStore(pc.store)
+		res.Pairs = append(res.Pairs, FwdPair{
+			StorePC: d.a.pcOf(pc.store),
+			LoadPC:  d.a.pcOf(idx),
+			Slot:    storeEff,
+			Bytes:   storeW,
+			Fn:      fnName,
+		})
+	}
+
+	// Keep groups whose members were claimed identically on every visit.
+	var sigs []string
+	for sig := range groups {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	for _, sig := range sigs {
+		g := groups[sig]
+		ok := true
+		for _, pc := range g.PCs {
+			idx := textIndex(d.prog, pc)
+			if groupBad[idx] || inGroup[idx] != memSeen[idx] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			res.Groups = append(res.Groups, g)
+		}
+	}
+}
+
+// slotOfStore recovers the slot facts of a claimed store instruction.
+func (d *depAnalyzer) slotOfStore(idx int) (eff, width int64, fnName string) {
+	for _, entry := range d.order {
+		fn := d.fns[entry]
+		for _, bi := range fn.blocks {
+			for _, ev := range fn.events[bi] {
+				if ev.idx == idx && ev.kind == evMem && ev.slotOK {
+					return ev.eff, ev.width, fn.name
+				}
+			}
+		}
+	}
+	return 0, 0, "?"
+}
+
+// claimRuns finds maximal same-line runs of consecutive memory accesses in
+// one block and records them as combining groups (length >= 2).
+func (d *depAnalyzer) claimRuns(res *DepResult, fn *fnInfo, bi int,
+	groups map[string]CombineGroup, groupSig map[int]string, groupBad map[int]bool, inGroup map[int]int) {
+
+	var run []depEvent
+	flush := func() {
+		if len(run) >= 2 {
+			sigParts := make([]string, len(run))
+			pcs := make([]uint32, len(run))
+			for i, ev := range run {
+				sigParts[i] = fmt.Sprintf("%d", ev.idx)
+				pcs[i] = d.a.pcOf(ev.idx)
+			}
+			sig := strings.Join(sigParts, ",")
+			if _, ok := groups[sig]; !ok {
+				groups[sig] = CombineGroup{PCs: pcs, IsLoad: run[0].isLoad, Fn: fn.name}
+			}
+			for _, ev := range run {
+				inGroup[ev.idx]++
+				if prev, seen := groupSig[ev.idx]; seen && prev != sig {
+					groupBad[ev.idx] = true
+				}
+				groupSig[ev.idx] = sig
+			}
+		}
+		run = run[:0]
+	}
+
+	eligible := func(ev depEvent) bool {
+		return ev.slotOK && slotKey{ev.eff, ev.width}.claimable()
+	}
+	extends := func(ev depEvent) bool {
+		if len(run) == 0 {
+			return false
+		}
+		if ev.isLoad != run[0].isLoad {
+			return false
+		}
+		first := run[0]
+		return sameLineAll(fn.alignMask, d.lineBytes, first.eff, first.width, ev.eff, ev.width)
+	}
+
+	for _, ev := range fn.events[bi] {
+		if ev.kind != evMem {
+			if ev.kind == evCall || ev.kind == evCallUnknown {
+				flush() // calls end the block anyway; belt and braces
+			}
+			continue
+		}
+		if !eligible(ev) {
+			// A non-slot access occupies a queue position between the
+			// members, breaking dispatch adjacency: end the run, and
+			// report the near-miss.
+			d.diagnoseRunBreak(res, fn, run, ev)
+			flush()
+			continue
+		}
+		if extends(ev) {
+			run = append(run, ev)
+			continue
+		}
+		if len(run) >= 1 && ev.isLoad == run[0].isLoad && len(run) == 1 {
+			d.diagnoseNeverCombines(res, fn, run[0], ev)
+		}
+		flush()
+		run = append(run, ev)
+	}
+	flush()
+}
+
+// ---------------------------------------------------------- diagnostics
+
+func (d *depAnalyzer) addDiag(res *DepResult, dg Diag) {
+	key := fmt.Sprintf("%d|%d|%x|%s", dg.Kind, dg.Sev, dg.PC, dg.Msg)
+	if d.a.seen[key] {
+		return
+	}
+	d.a.seen[key] = true
+	res.Diags = append(res.Diags, dg)
+}
+
+// diagnoseMem emits ambiguous-slot and missed-forwarding findings for one
+// memory access, given the last-writer state just before it.
+func (d *depAnalyzer) diagnoseMem(res *DepResult, fn *fnInfo, fd *fnDep, ev depEvent, w []int) {
+	pc := d.a.pcOf(ev.idx)
+	in := d.prog.Text[ev.idx]
+	if ev.stackUnknown {
+		d.addDiag(res, Diag{DiagAmbiguousSlot, SevInfo, pc, fn.name, in.String(),
+			"stack-derived base with a path-dependent frame offset blocks forwarding-pair and combining-group proofs"})
+		return
+	}
+	if !ev.isLoad || !ev.slotOK {
+		return
+	}
+	k := slotKey{ev.eff, ev.width}
+	si, ok := fd.slotIdx[k]
+	if !ok {
+		return
+	}
+	switch w[si] {
+	case wMulti:
+		d.addDiag(res, Diag{DiagMissedForwarding, SevInfo, pc, fn.name, in.String(),
+			fmt.Sprintf("slot %+d: different stores reach this load on different paths; no static forwarding pair", k.eff)})
+	case wUnknown:
+		why := "killed on an earlier path"
+		if cause, ok := fd.killCause[si]; ok {
+			why = cause
+		}
+		if d.hasSameSlotStore(fn, k) {
+			d.addDiag(res, Diag{DiagMissedForwarding, SevInfo, pc, fn.name, in.String(),
+				fmt.Sprintf("slot %+d has a matching store but the last writer is unprovable: %s", k.eff, why)})
+		}
+	}
+}
+
+// hasSameSlotStore reports whether fn contains a store to exactly slot k.
+func (d *depAnalyzer) hasSameSlotStore(fn *fnInfo, k slotKey) bool {
+	for _, bi := range fn.blocks {
+		for _, ev := range fn.events[bi] {
+			if ev.kind == evMem && !ev.isLoad && ev.slotOK && ev.eff == k.eff && ev.width == k.width {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// diagnoseNeverCombines fires when two consecutive same-kind local
+// accesses fail only the same-line proof.
+func (d *depAnalyzer) diagnoseNeverCombines(res *DepResult, fn *fnInfo, prev, ev depEvent) {
+	pc := d.a.pcOf(ev.idx)
+	in := d.prog.Text[ev.idx]
+	full := fn.alignMask == uint64(1)<<uint(d.lineBytes)-1 ||
+		(d.lineBytes == maxAlignBits && fn.alignMask == ^uint64(0))
+	why := fmt.Sprintf("slots %+d and %+d may fall in different %d-byte LVC lines for some reachable frame alignments",
+		prev.eff, ev.eff, d.lineBytes)
+	if fn.alignMask == 0 {
+		why = "the enclosing function is never seen called, so its frame alignment is unknown"
+	} else if full {
+		why = "the entry-$sp alignment of the enclosing function is unconstrained (address-taken or called with an unknown frame offset)"
+	}
+	d.addDiag(res, Diag{DiagNeverCombines, SevInfo, pc, fn.name, in.String(),
+		fmt.Sprintf("adjacent to the %s access at %08x but never combines: %s",
+			kindName(prev.isLoad), d.a.pcOf(prev.idx), why)})
+}
+
+// diagnoseRunBreak notes a run interrupted by a non-slot access.
+func (d *depAnalyzer) diagnoseRunBreak(res *DepResult, fn *fnInfo, run []depEvent, ev depEvent) {
+	if len(run) == 0 || ev.nonstack {
+		return // non-local traffic between locals is expected, not a miss
+	}
+	pc := d.a.pcOf(ev.idx)
+	in := d.prog.Text[ev.idx]
+	d.addDiag(res, Diag{DiagNeverCombines, SevInfo, pc, fn.name, in.String(),
+		fmt.Sprintf("unclassifiable access splits a potential combining run starting at %08x", d.a.pcOf(run[0].idx))})
+}
+
+func kindName(isLoad bool) string {
+	if isLoad {
+		return "load"
+	}
+	return "store"
+}

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/workload"
+)
+
+// storeInst is one dynamic store instance for the shadow memory.
+type storeInst struct {
+	pc    uint32
+	addr  uint32
+	bytes int
+}
+
+// groupRun tracks one combining group's in-flight dynamic run.
+type groupRun struct {
+	next int    // member index expected next (0 = run not open)
+	line uint32 // line of the run's first member
+}
+
+// TestDependenceSoundness replays every workload through the emulator and
+// checks the statically-claimed forwarding pairs and combining groups
+// against dynamic ground truth:
+//
+//   - for each executed instance of a claimed load, a per-byte shadow
+//     memory must show its bytes were last written by one instance of the
+//     claimed store, at the same address and width (that is exactly the
+//     condition under which the hardware bypass returns the right value);
+//
+//   - group members sit in one basic block, so each execution of the
+//     first member must be followed by the remaining members in order,
+//     all touching the first member's LVC line.
+//
+// Any contradiction is a hard failure: config.ForwardStatic and
+// config.CombineStatic trust these claims without dynamic re-checks.
+func TestDependenceSoundness(t *testing.T) {
+	totalPairs, totalGroups := 0, 0
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			prog := w.Program(soundnessScale)
+			dep := Dependences(prog, 32)
+			totalPairs += len(dep.Pairs)
+			totalGroups += len(dep.Groups)
+
+			fwd := dep.ForwardTable() // load PC -> store PC
+			type memberRef struct {
+				group  int
+				member int
+			}
+			members := make(map[uint32]memberRef)
+			for gi, g := range dep.Groups {
+				for mi, pc := range g.PCs {
+					members[pc] = memberRef{gi, mi}
+				}
+			}
+			runs := make([]groupRun, len(dep.Groups))
+
+			shadow := make(map[uint32]int) // byte addr -> index into insts
+			insts := []storeInst{}
+
+			var pairChecks, groupChecks uint64
+			m := emu.New(prog)
+			var steps uint64
+			for !m.Halted && steps < soundnessMaxInsts {
+				ef, err := m.Step()
+				if err != nil {
+					t.Fatalf("emulate: %v", err)
+				}
+				steps++
+				in := ef.Inst
+				if !in.IsMem() {
+					continue
+				}
+				nb := in.MemBytes()
+
+				if in.IsLoad() {
+					if storePC, claimed := fwd[ef.PC]; claimed {
+						pairChecks++
+						si := -1
+						sound := true
+						for b := 0; b < nb; b++ {
+							id, written := shadow[ef.Addr+uint32(b)]
+							if !written || (si >= 0 && id != si) {
+								sound = false
+								break
+							}
+							si = id
+						}
+						if sound {
+							w := insts[si]
+							sound = w.pc == storePC && w.addr == ef.Addr && w.bytes == nb
+						}
+						if !sound {
+							t.Errorf("UNSOUND pair at load %08x (claimed store %08x): bytes [%08x,+%d) not last written by one matching store instance",
+								ef.PC, storePC, ef.Addr, nb)
+							delete(fwd, ef.PC) // report each unsound pair once
+						}
+					}
+				} else {
+					id := len(insts)
+					insts = append(insts, storeInst{pc: ef.PC, addr: ef.Addr, bytes: nb})
+					for b := 0; b < nb; b++ {
+						shadow[ef.Addr+uint32(b)] = id
+					}
+				}
+
+				if ref, ok := members[ef.PC]; ok {
+					r := &runs[ref.group]
+					line := ef.Addr / 32
+					if ref.member == 0 {
+						r.next, r.line = 1, line
+					} else {
+						groupChecks++
+						if ref.member != r.next || line != r.line {
+							t.Errorf("UNSOUND group %d at member %08x (#%d): expected member #%d on line %#x, got line %#x",
+								ref.group, ef.PC, ref.member, r.next, r.line, line)
+							delete(members, ef.PC)
+						} else {
+							r.next++
+						}
+					}
+				}
+			}
+			t.Logf("%s: %d pairs (%d dynamic checks), %d groups (%d dynamic checks), %v insts",
+				w.Name, len(dep.Pairs), pairChecks, len(dep.Groups), groupChecks, steps)
+		})
+	}
+	// The harness is only meaningful if the analyzer actually claims
+	// something on real programs.
+	if totalPairs == 0 {
+		t.Error("no forwarding pairs claimed on any workload: harness is vacuous")
+	}
+	if totalGroups == 0 {
+		t.Error("no combining groups claimed on any workload: harness is vacuous")
+	}
+}

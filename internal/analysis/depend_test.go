@@ -1,0 +1,383 @@
+package analysis
+
+import (
+	"math"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+)
+
+func mustDependences(t *testing.T, src string) *DepResult {
+	t.Helper()
+	prog, err := asm.Assemble("test", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return Dependences(prog, 32)
+}
+
+func pairSlots(r *DepResult) []int64 {
+	var slots []int64
+	for _, p := range r.Pairs {
+		slots = append(slots, p.Slot)
+	}
+	return slots
+}
+
+func hasDiag(r *DepResult, kind DiagKind, msgPart string) bool {
+	for _, d := range r.Diags {
+		if d.Kind == kind && strings.Contains(d.Msg, msgPart) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPairStraightLine(t *testing.T) {
+	r := mustDependences(t, `
+		.text
+	main:
+		addi $sp, $sp, -32
+		sw   $a0, 4($sp)
+		lw   $t0, 4($sp)
+		addi $sp, $sp, 32
+		halt
+	`)
+	if len(r.Pairs) != 1 {
+		t.Fatalf("pairs = %v, want exactly 1", r.Pairs)
+	}
+	p := r.Pairs[0]
+	if p.Slot != -28 || p.Bytes != 4 || p.Fn != "main" {
+		t.Errorf("pair = %+v, want slot -28, 4B in main", p)
+	}
+	if ft := r.ForwardTable(); ft[p.LoadPC] != p.StorePC {
+		t.Errorf("ForwardTable()[%08x] = %08x, want %08x", p.LoadPC, ft[p.LoadPC], p.StorePC)
+	}
+}
+
+// TestPairKilledByAmbiguousStore: a store through a stack-derived pointer
+// with a path-dependent offset may alias any slot, so no pair survives and
+// the access itself is flagged ambiguous-slot.
+func TestPairKilledByAmbiguousStore(t *testing.T) {
+	r := mustDependences(t, `
+		.text
+	main:
+		addi $sp, $sp, -32
+		sw   $a0, 4($sp)
+		move $t1, $sp
+		bnez $a1, skip
+		addi $t1, $t1, 8
+	skip:
+		sw   $zero, 0($t1)
+		lw   $t0, 4($sp)
+		addi $sp, $sp, 32
+		halt
+	`)
+	if len(r.Pairs) != 0 {
+		t.Fatalf("pairs = %v, want none", r.Pairs)
+	}
+	if !hasDiag(r, DiagAmbiguousSlot, "path-dependent") {
+		t.Errorf("missing ambiguous-slot diag; got %v", r.Diags)
+	}
+	if !hasDiag(r, DiagMissedForwarding, "unbounded stack address") {
+		t.Errorf("missing missed-forwarding diag naming the killer; got %v", r.Diags)
+	}
+}
+
+// TestPairAcrossSafeCall: a callee whose frame-write summary provably
+// misses the caller's slot does not kill the forwarding pair.
+func TestPairAcrossSafeCall(t *testing.T) {
+	r := mustDependences(t, `
+		.text
+	main:
+		addi $sp, $sp, -32
+		sw   $a0, 4($sp)
+		jal  leaf
+		lw   $t0, 4($sp)
+		addi $sp, $sp, 32
+		halt
+	leaf:
+		addi $sp, $sp, -16
+		sw   $ra, 0($sp)
+		lw   $ra, 0($sp)
+		addi $sp, $sp, 16
+		jr   $ra
+	`)
+	if len(r.Pairs) != 2 {
+		t.Fatalf("pairs = %v, want 2 (caller across call + callee internal)", r.Pairs)
+	}
+	got := pairSlots(r)
+	want := map[int64]bool{-28: false, -16: false}
+	for _, s := range got {
+		if _, ok := want[s]; !ok {
+			t.Fatalf("unexpected pair slot %d in %v", s, r.Pairs)
+		}
+		want[s] = true
+	}
+	for s, seen := range want {
+		if !seen {
+			t.Errorf("missing pair for slot %d; got %v", s, r.Pairs)
+		}
+	}
+	// The leaf writes [-16,-12) relative to its own entry $sp.
+	for _, f := range r.Funcs {
+		if f.Name == "leaf" && (f.WritesUnknown || f.WriteLo != -16 || f.WriteHi != -12) {
+			t.Errorf("leaf summary = %+v, want [-16,-12)", f)
+		}
+	}
+}
+
+// TestPairKilledByUnsafeCall: a callee that stores through an unknown
+// pointer has an unbounded summary and kills every slot at the callsite.
+func TestPairKilledByUnsafeCall(t *testing.T) {
+	r := mustDependences(t, `
+		.text
+	main:
+		addi $sp, $sp, -32
+		sw   $a0, 4($sp)
+		jal  wild
+		lw   $t0, 4($sp)
+		addi $sp, $sp, 32
+		halt
+	wild:
+		sw   $zero, 0($a1)
+		jr   $ra
+	`)
+	if len(r.Pairs) != 0 {
+		t.Fatalf("pairs = %v, want none", r.Pairs)
+	}
+	if !hasDiag(r, DiagMissedForwarding, "wild") {
+		t.Errorf("missing missed-forwarding diag naming the unsafe callee; got %v", r.Diags)
+	}
+	for _, f := range r.Funcs {
+		if f.Name == "wild" && !f.WritesUnknown {
+			t.Errorf("wild summary = %+v, want WritesUnknown", f)
+		}
+		if f.Name == "main" && !f.WritesUnknown {
+			t.Errorf("main summary = %+v, want WritesUnknown (transitively)", f)
+		}
+	}
+}
+
+// TestPairKilledByIndirectCall: a jalr has no static callee, so it kills
+// every slot; the address-taken callee is assumed enterable at any frame
+// alignment.
+func TestPairKilledByIndirectCall(t *testing.T) {
+	r := mustDependences(t, `
+		.text
+	main:
+		addi $sp, $sp, -32
+		sw   $a0, 4($sp)
+		la   $t1, leaf
+		jalr $ra, $t1
+		lw   $t0, 4($sp)
+		addi $sp, $sp, 32
+		halt
+	leaf:
+		jr   $ra
+	`)
+	for _, p := range r.Pairs {
+		if p.Fn == "main" {
+			t.Errorf("pair %v survived an indirect call", p)
+		}
+	}
+	if !hasDiag(r, DiagMissedForwarding, "indirect call") {
+		t.Errorf("missing missed-forwarding diag for the jalr kill; got %v", r.Diags)
+	}
+	for _, f := range r.Funcs {
+		if f.Name == "leaf" && f.AlignMask != 1<<32-1 {
+			t.Errorf("address-taken leaf align mask = %#x, want full", f.AlignMask)
+		}
+	}
+}
+
+// TestCombineGroupsAligned: a 32-byte frame in a function only entered at
+// a line-aligned $sp yields provable same-line runs for both kinds.
+func TestCombineGroupsAligned(t *testing.T) {
+	r := mustDependences(t, `
+		.text
+	main:
+		addi $sp, $sp, -32
+		sw   $a0, 0($sp)
+		sw   $a1, 4($sp)
+		sw   $a2, 8($sp)
+		lw   $t0, 0($sp)
+		lw   $t1, 4($sp)
+		addi $sp, $sp, 32
+		halt
+	`)
+	if len(r.Groups) != 2 {
+		t.Fatalf("groups = %v, want 2", r.Groups)
+	}
+	var stores, loads *CombineGroup
+	for i := range r.Groups {
+		if r.Groups[i].IsLoad {
+			loads = &r.Groups[i]
+		} else {
+			stores = &r.Groups[i]
+		}
+	}
+	if stores == nil || len(stores.PCs) != 3 {
+		t.Errorf("store group = %v, want 3 members", stores)
+	}
+	if loads == nil || len(loads.PCs) != 2 {
+		t.Errorf("load group = %v, want 2 members", loads)
+	}
+	ct := r.CombineTable()
+	if len(ct) != 5 {
+		t.Errorf("CombineTable has %d members, want 5", len(ct))
+	}
+	if stores != nil && loads != nil && ct[stores.PCs[0]] == ct[loads.PCs[0]] {
+		t.Error("store and load groups share a group id")
+	}
+	// The two loads also form forwarding pairs with their stores.
+	if len(r.Pairs) != 2 {
+		t.Errorf("pairs = %v, want 2", r.Pairs)
+	}
+}
+
+// TestNeverCombinesUnalignedFrame: when the frame can sit at a non-aligned
+// residue the same-line proof must fail and explain itself.
+func TestNeverCombinesUnalignedFrame(t *testing.T) {
+	// f is entered at residue 4 mod 32 ($sp shifted -28 at the callsite),
+	// so its slots at -4 and -8 land at addresses 0 and -4: different
+	// 32-byte lines.
+	r := mustDependences(t, `
+		.text
+	main:
+		addi $sp, $sp, -28
+		jal  f
+		addi $sp, $sp, 28
+		halt
+	f:
+		addi $sp, $sp, -8
+		sw   $a0, 4($sp)
+		sw   $a1, 0($sp)
+		addi $sp, $sp, 8
+		jr   $ra
+	`)
+	if len(r.Groups) != 0 {
+		t.Fatalf("groups = %v, want none (slots straddle a line at residue 4)", r.Groups)
+	}
+	if !hasDiag(r, DiagNeverCombines, "different 32-byte LVC lines") {
+		t.Errorf("missing never-combines diag; got %v", r.Diags)
+	}
+}
+
+// TestFibExample pins the analysis on the shipped recursive example: all
+// three saved-register slots forward across the recursive calls (the
+// widened callee summary stays strictly below the caller's $sp), and the
+// 12-byte frame prevents any combining group.
+func TestFibExample(t *testing.T) {
+	src, err := os.ReadFile("../../examples/asm/fib.s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := mustDependences(t, string(src))
+	if len(r.Pairs) != 3 {
+		t.Fatalf("pairs = %v, want 3", r.Pairs)
+	}
+	for _, p := range r.Pairs {
+		if p.Fn != "fib" {
+			t.Errorf("pair %v outside fib", p)
+		}
+	}
+	if len(r.Groups) != 0 {
+		t.Errorf("groups = %v, want none (12-byte frames are not line-aligned)", r.Groups)
+	}
+	for _, f := range r.Funcs {
+		if f.Name != "fib" {
+			continue
+		}
+		if f.WritesUnknown {
+			t.Errorf("fib summary unexpectedly unknown: %+v", f)
+		}
+		if f.WriteLo != math.MinInt64 {
+			t.Errorf("fib WriteLo = %d, want widened to -inf (recursion)", f.WriteLo)
+		}
+		if f.WriteHi != 0 {
+			t.Errorf("fib WriteHi = %d, want 0", f.WriteHi)
+		}
+	}
+	if !hasDiag(r, DiagNeverCombines, "different 32-byte LVC lines") {
+		t.Errorf("missing never-combines diags on the unaligned frame; got %v", r.Diags)
+	}
+}
+
+// TestRecurseExample covers satellite coverage for call-transfer on
+// recursive and indirect-call programs via examples/asm/recurse.s.
+func TestRecurseExample(t *testing.T) {
+	src, err := os.ReadFile("../../examples/asm/recurse.s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := mustDependences(t, string(src))
+
+	// count recurses with an 8-byte frame: its summary must widen to
+	// [-inf, 0) rather than iterate one frame per fixpoint round.
+	var count, bump *FuncSummary
+	for i := range r.Funcs {
+		switch r.Funcs[i].Name {
+		case "count":
+			count = &r.Funcs[i]
+		case "bump":
+			bump = &r.Funcs[i]
+		}
+	}
+	if count == nil {
+		t.Fatal("no summary for count")
+	}
+	if count.WritesUnknown || count.WriteLo != math.MinInt64 || count.WriteHi != 0 {
+		t.Errorf("count summary = %+v, want widened [-inf, 0)", *count)
+	}
+	if bump == nil {
+		t.Fatal("no summary for bump (address-taken entry not discovered)")
+	}
+	if bump.AlignMask != 1<<32-1 {
+		t.Errorf("bump align mask = %#x, want full (address-taken)", bump.AlignMask)
+	}
+
+	// Both count slots forward across the recursion; main's slot does not
+	// survive the jalr.
+	var countPairs int
+	for _, p := range r.Pairs {
+		switch p.Fn {
+		case "count":
+			countPairs++
+		case "main":
+			t.Errorf("pair %v in main survived the indirect call", p)
+		}
+	}
+	if countPairs != 2 {
+		t.Errorf("count pairs = %d (%v), want 2", countPairs, r.Pairs)
+	}
+	if !hasDiag(r, DiagMissedForwarding, "indirect call") {
+		t.Errorf("missing missed-forwarding diag for the jalr; got %v", r.Diags)
+	}
+
+	// count is entered at residues {0, 24, 16, 8} (8-byte frames), so its
+	// two word slots at -4 and -8 always share a line: a store group and a
+	// load group. main's aligned 32-byte frame combines too.
+	if len(r.Groups) < 2 {
+		t.Errorf("groups = %v, want at least the count store pair and one more", r.Groups)
+	}
+	for _, g := range r.Groups {
+		if len(g.PCs) < 2 {
+			t.Errorf("degenerate group %v", g)
+		}
+	}
+}
+
+// TestDepDiagsCarryPass pins the pass attribution used by ddlint -json.
+func TestDepDiagsCarryPass(t *testing.T) {
+	if DiagOutOfFrame.Pass() != "region" || DiagUnsoundLocalHint.Pass() != "region" {
+		t.Error("region kinds misattributed")
+	}
+	for _, k := range []DiagKind{DiagMissedForwarding, DiagNeverCombines, DiagAmbiguousSlot} {
+		if k.Pass() != "depend" {
+			t.Errorf("%v.Pass() = %q, want depend", k, k.Pass())
+		}
+	}
+}

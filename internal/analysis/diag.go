@@ -25,6 +25,17 @@ const (
 	// current frame (at/above the function's incoming $sp, or below the
 	// current $sp).
 	DiagOutOfFrame
+	// DiagMissedForwarding: a local load has a matching same-slot store
+	// but the dependence analysis cannot prove it is the unique last
+	// writer, so no static forwarding pair is claimed.
+	DiagMissedForwarding
+	// DiagNeverCombines: adjacent same-kind local accesses that never form
+	// a static combining group (different lines for some reachable frame
+	// alignment, or an unclassifiable access splits the run).
+	DiagNeverCombines
+	// DiagAmbiguousSlot: a stack-derived access whose frame offset is
+	// path-dependent, blocking every dependence-pass proof involving it.
+	DiagAmbiguousSlot
 )
 
 var diagKindNames = [...]string{
@@ -33,6 +44,9 @@ var diagKindNames = [...]string{
 	"unbalanced-sp",
 	"stack-escape",
 	"out-of-frame",
+	"missed-forwarding",
+	"never-combines",
+	"ambiguous-slot",
 }
 
 func (k DiagKind) String() string {
@@ -42,19 +56,34 @@ func (k DiagKind) String() string {
 	return fmt.Sprintf("diag%d", uint8(k))
 }
 
+// Pass names the analysis pass that produces findings of this kind:
+// "region" for the access-region classifier, "depend" for the
+// interprocedural dependence analysis.
+func (k DiagKind) Pass() string {
+	if k >= DiagMissedForwarding {
+		return "depend"
+	}
+	return "region"
+}
+
 // Severity grades a finding.
 type Severity uint8
 
 const (
-	SevWarning Severity = iota
+	SevInfo Severity = iota
+	SevWarning
 	SevError
 )
 
 func (s Severity) String() string {
-	if s == SevError {
+	switch s {
+	case SevError:
 		return "error"
+	case SevWarning:
+		return "warning"
+	default:
+		return "info"
 	}
-	return "warning"
 }
 
 // Diag is one lint finding, anchored at a text-segment address.
@@ -77,6 +106,7 @@ func (d Diag) String() string {
 
 // diagJSON is the stable wire form used by ddlint -json.
 type diagJSON struct {
+	Pass     string `json:"pass"`
 	Kind     string `json:"kind"`
 	Severity string `json:"severity"`
 	PC       string `json:"pc"`
@@ -88,6 +118,7 @@ type diagJSON struct {
 // JSONForm returns the JSON-marshalable representation of the finding.
 func (d Diag) JSONForm() any {
 	return diagJSON{
+		Pass:     d.Kind.Pass(),
 		Kind:     d.Kind.String(),
 		Severity: d.Sev.String(),
 		PC:       fmt.Sprintf("%#08x", d.PC),

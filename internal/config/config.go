@@ -148,6 +148,15 @@ type Config struct {
 	// port grant covers up to CombineWidth consecutive same-line LVAQ
 	// accesses. 1 disables combining.
 	CombineWidth int
+	// ForwardStatic restricts fast data forwarding to the store→load
+	// pairs proven by the internal/analysis interprocedural dependence
+	// pass. Requires FastForward.
+	ForwardStatic bool
+	// CombineStatic restricts access combining to the same-line groups
+	// proven by the dependence pass: the combining window only opens for
+	// (and only admits) members of one static group. Requires
+	// CombineWidth > 1.
+	CombineStatic bool
 
 	// MaxInsts bounds the number of committed instructions (0 = run to
 	// HALT).
@@ -177,6 +186,9 @@ type StreamSpec struct {
 	// CombineWidth is the access-combining degree on this stream's cache
 	// port (1 disables combining).
 	CombineWidth int
+	// CombineStatic restricts the combining window to members of one
+	// statically-proven same-line group.
+	CombineStatic bool
 }
 
 // Streams returns the canonical per-stream view of the configuration: the
@@ -194,14 +206,15 @@ func (c Config) Streams() []StreamSpec {
 	}}
 	if c.Decoupled() {
 		ss = append(ss, StreamSpec{
-			Name:         "LVAQ",
-			Local:        true,
-			QueueSize:    c.LVAQSize,
-			Ports:        c.LVCPorts,
-			PortModel:    c.LVCPortModel,
-			Cache:        c.LVC,
-			FastForward:  c.FastForward,
-			CombineWidth: c.CombineWidth,
+			Name:          "LVAQ",
+			Local:         true,
+			QueueSize:     c.LVAQSize,
+			Ports:         c.LVCPorts,
+			PortModel:     c.LVCPortModel,
+			Cache:         c.LVC,
+			FastForward:   c.FastForward,
+			CombineWidth:  c.CombineWidth,
+			CombineStatic: c.CombineStatic,
 		})
 	}
 	return ss
@@ -248,6 +261,16 @@ func (c Config) WithPorts(n, m int) Config {
 func (c Config) WithOptimizations(combine int) Config {
 	c.FastForward = true
 	c.CombineWidth = combine
+	return c
+}
+
+// WithStaticOptimizations returns a copy with both LVAQ optimizations
+// enabled but restricted to the pairs/groups proven by the static
+// dependence analysis.
+func (c Config) WithStaticOptimizations(combine int) Config {
+	c = c.WithOptimizations(combine)
+	c.ForwardStatic = true
+	c.CombineStatic = combine > 1
 	return c
 }
 
@@ -302,12 +325,17 @@ func (c Config) Key() string {
 	f("tlb", uint64(c.TLBEntries))
 	f("tlbml", c.TLBMissLatency)
 	f("rp", c.RecoveryPenalty)
-	if c.FastForward {
-		f("ff", 1)
-	} else {
-		f("ff", 0)
+	bit := func(tag string, v bool) {
+		if v {
+			f(tag, 1)
+		} else {
+			f(tag, 0)
+		}
 	}
+	bit("ff", c.FastForward)
 	f("cw", uint64(c.CombineWidth))
+	bit("ffs", c.ForwardStatic)
+	bit("cs", c.CombineStatic)
 	f("mi", c.MaxInsts)
 	return b.String()
 }
@@ -335,6 +363,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("config: zero cache hit latency")
 	case c.Decoupled() && c.LVC.HitLatency == 0:
 		return fmt.Errorf("config: zero LVC hit latency")
+	case c.ForwardStatic && !c.FastForward:
+		return fmt.Errorf("config: ForwardStatic requires FastForward")
+	case c.CombineStatic && c.CombineWidth < 2:
+		return fmt.Errorf("config: CombineStatic requires CombineWidth > 1")
 	}
 	return nil
 }

@@ -58,6 +58,19 @@ func TestWithOptimizations(t *testing.T) {
 	if !c.FastForward || c.CombineWidth != 4 {
 		t.Errorf("optimizations = %v/%d", c.FastForward, c.CombineWidth)
 	}
+	if c.ForwardStatic || c.CombineStatic {
+		t.Error("dynamic optimizations set static restriction flags")
+	}
+	s := Default().WithPorts(3, 2).WithStaticOptimizations(4)
+	if !s.FastForward || s.CombineWidth != 4 || !s.ForwardStatic || !s.CombineStatic {
+		t.Errorf("static optimizations = %+v", s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("static-optimized config invalid: %v", err)
+	}
+	if s1 := Default().WithStaticOptimizations(1); s1.CombineStatic {
+		t.Error("CombineStatic set with combining disabled")
+	}
 }
 
 func TestParseNM(t *testing.T) {
@@ -89,6 +102,8 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		func(c *Config) { c.L1.HitLatency = 0 },
 		func(c *Config) { c.LVCPorts = 2; c.LVAQSize = 0 },
 		func(c *Config) { c.LVCPorts = 2; c.LVC.HitLatency = 0 },
+		func(c *Config) { c.ForwardStatic = true },
+		func(c *Config) { c.CombineStatic = true },
 	}
 	for i, f := range mut {
 		c := Default()
@@ -148,6 +163,8 @@ func TestKeyDistinguishesEveryField(t *testing.T) {
 		func(c *Config) { c.RecoveryPenalty++ },
 		func(c *Config) { c.FastForward = !c.FastForward },
 		func(c *Config) { c.CombineWidth++ },
+		func(c *Config) { c.ForwardStatic = !c.ForwardStatic },
+		func(c *Config) { c.CombineStatic = !c.CombineStatic },
 		func(c *Config) { c.MaxInsts++ },
 	}
 	base := Default()
@@ -195,8 +212,13 @@ func TestStreams(t *testing.T) {
 	}
 	if !lvaq.Local || lvaq.Name != "LVAQ" || lvaq.QueueSize != dec.LVAQSize ||
 		lvaq.Ports != 2 || lvaq.Cache != dec.LVC ||
-		!lvaq.FastForward || lvaq.CombineWidth != 4 {
+		!lvaq.FastForward || lvaq.CombineWidth != 4 || lvaq.CombineStatic {
 		t.Errorf("LVAQ spec = %+v", lvaq)
+	}
+
+	stat := Default().WithPorts(2, 2).WithStaticOptimizations(4).Streams()
+	if !stat[1].CombineStatic || stat[0].CombineStatic {
+		t.Errorf("static Streams() = %+v", stat)
 	}
 }
 

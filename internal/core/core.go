@@ -67,6 +67,9 @@ type uop struct {
 	// stack-generation tag current at dispatch, and the offset field.
 	baseReg isa.Reg
 	spGen   uint64
+	// combineGroup is the static combining-group id of this PC
+	// (memsys.GroupNone when the dependence analysis proved none).
+	combineGroup int
 	// spGenAfter is the core's stack generation after this instruction
 	// dispatched (used to restore it on a squash).
 	spGenAfter uint64
@@ -207,6 +210,12 @@ type Core struct {
 	// Absent entries are ambiguous and fall back to the predictor.
 	staticClass map[uint32]isa.Hint
 
+	// fwdPairs (load PC → store PC) and combineGroups (member PC → group
+	// id) are the statically-proven tables from the interprocedural
+	// dependence analysis, populated under ForwardStatic/CombineStatic.
+	fwdPairs      map[uint32]uint32
+	combineGroups map[uint32]int
+
 	// annotTLB, when non-nil, is the §2.1 annotation TLB: steering
 	// verification waits for its fill on a miss.
 	annotTLB *tlb.TLB
@@ -261,6 +270,15 @@ func New(prog *asm.Program, cfg config.Config) (*Core, error) {
 	}
 	if cfg.Decoupled() && cfg.Steering == config.SteerStatic {
 		c.staticClass = analysis.Analyze(prog).HintTable()
+	}
+	if cfg.Decoupled() && (cfg.ForwardStatic || cfg.CombineStatic) {
+		dep := analysis.Dependences(prog, cfg.LVC.LineBytes)
+		if cfg.ForwardStatic {
+			c.fwdPairs = dep.ForwardTable()
+		}
+		if cfg.CombineStatic {
+			c.combineGroups = dep.CombineTable()
+		}
 	}
 	return c, nil
 }

@@ -39,7 +39,7 @@ func (c *Core) commitStage() {
 			// participate in access combining. CommitStore requires the
 			// store to be its stream's oldest entry — commit order is
 			// program order, so anything else would be a pipeline bug.
-			status, combined := c.streams[u.stream].CommitStore(c.now, u, u.ef.Addr)
+			status, combined := c.streams[u.stream].CommitStore(c.now, u, u.ef.Addr, u.combineGroup)
 			if status != memsys.CommitOK {
 				// Port or MSHR stall: retry next cycle. On an MSHR
 				// stall the port stays consumed, as it would in
@@ -156,7 +156,7 @@ func (c *Core) processLoad(s *memsys.Stream, pos int, u *uop) {
 		return
 	}
 
-	granted, combined := s.Grant(pos, u.ef.Addr, true)
+	granted, combined := s.Grant(pos, u.ef.Addr, true, u.combineGroup)
 	if !granted {
 		s.Stats.LoadPortStalls++
 		return
@@ -183,6 +183,15 @@ func (c *Core) tryFastForward(s *memsys.Stream, pos int, u *uop) bool {
 	if u.dual || (u.baseReg != isa.RegSP && u.baseReg != isa.RegFP) {
 		return false
 	}
+	// Under ForwardStatic the bypass only fires for loads with a
+	// statically-proven pair, and only from that pair's store.
+	var wantStore uint32
+	if c.cfg.ForwardStatic {
+		var claimed bool
+		if wantStore, claimed = c.fwdPairs[u.ef.PC]; !claimed {
+			return false
+		}
+	}
 	for j := pos - 1; j >= 0; j-- {
 		st := s.Queue.At(j).(*uop)
 		if st.isLoad {
@@ -200,6 +209,9 @@ func (c *Core) tryFastForward(s *memsys.Stream, pos int, u *uop) bool {
 		}
 		if st.baseReg == u.baseReg && st.ef.Inst.Imm == u.ef.Inst.Imm {
 			if st.ef.Bytes != u.ef.Bytes {
+				return false
+			}
+			if c.cfg.ForwardStatic && st.ef.PC != wantStore {
 				return false
 			}
 			if st.valueKnown && st.valueAt <= c.now {
@@ -328,6 +340,10 @@ func (c *Core) dispatchStage() {
 			u.dual = dual
 			u.baseReg = in.BaseReg()
 			u.spGen = c.spGen
+			u.combineGroup = memsys.GroupNone
+			if g, ok := c.combineGroups[ef.PC]; ok {
+				u.combineGroup = g
+			}
 			u.dep[0] = c.producer(in.BaseReg())
 			if !u.isLoad {
 				u.dep[1] = c.producer(in.Rt)

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+)
+
+// TestStaticForwardingRestrictsToProvenPairs: under ForwardStatic the
+// fast-forward bypass fires only for the analyzer's pairs — on fib, where
+// all saved-register reloads are proven, it still fires; it can never
+// fire more often than the unrestricted dynamic mechanism.
+func TestStaticForwardingRestrictsToProvenPairs(t *testing.T) {
+	prog := compile(t, fibProgram)
+	cfg := config.Default().WithPorts(3, 2).WithOptimizations(1)
+	dyn := simulate(t, prog, cfg)
+	if dyn.FastFwdLoads == 0 {
+		t.Fatal("dynamic fast forwarding never fired on fib")
+	}
+
+	cfg.ForwardStatic = true
+	stat := simulate(t, prog, cfg)
+	checkFunctional(t, prog, stat)
+	if stat.FastFwdLoads == 0 {
+		t.Error("static fast forwarding never fired despite proven pairs")
+	}
+	if stat.FastFwdLoads > dyn.FastFwdLoads {
+		t.Errorf("static forwarded more loads (%d) than dynamic (%d)",
+			stat.FastFwdLoads, dyn.FastFwdLoads)
+	}
+}
+
+// TestStaticForwardingSkipsUnprovenPairs: a load reached by different
+// stores on different paths has no static pair, so ForwardStatic must not
+// bypass it even though the dynamic mechanism (seeing only the executed
+// path in the queue) would.
+func TestStaticForwardingSkipsUnprovenPairs(t *testing.T) {
+	src := `
+        .text
+main:
+        li   $s0, 0
+        li   $s1, 40
+        li   $a1, 1
+loop:
+        addi $sp, $sp, -16
+        bnez $a1, alt
+        sw   $zero, 0($sp) !local
+        j    join
+alt:
+        sw   $a1, 0($sp) !local
+join:
+        lw   $v0, 0($sp) !local
+        addi $sp, $sp, 16
+        addi $s0, $s0, 1
+        bne  $s0, $s1, loop
+        out  $v0
+        halt
+`
+	prog := compile(t, src)
+	cfg := config.Default().WithPorts(3, 2).WithOptimizations(1)
+	dyn := simulate(t, prog, cfg)
+	if dyn.FastFwdLoads == 0 {
+		t.Fatal("dynamic fast forwarding never fired on the diamond")
+	}
+
+	cfg.ForwardStatic = true
+	stat := simulate(t, prog, cfg)
+	checkFunctional(t, prog, stat)
+	if stat.FastFwdLoads != 0 {
+		t.Errorf("static mode forwarded %d loads with no proven pair", stat.FastFwdLoads)
+	}
+}
+
+// TestStaticCombiningRestrictsToProvenGroups: on the aligned burst
+// program every run is proven, so static combining still fires; it never
+// exceeds the dynamic count.
+func TestStaticCombiningRestrictsToProvenGroups(t *testing.T) {
+	prog := compile(t, burstProgram)
+	cfg := config.Default().WithPorts(3, 1)
+	cfg.CombineWidth = 4
+	dyn := simulate(t, prog, cfg)
+	if dyn.CombinedAccesses == 0 {
+		t.Fatal("dynamic combining never fired on bursty stack code")
+	}
+
+	cfg.CombineStatic = true
+	stat := simulate(t, prog, cfg)
+	checkFunctional(t, prog, stat)
+	if stat.CombinedAccesses == 0 {
+		t.Error("static combining never fired despite proven groups")
+	}
+	if stat.CombinedAccesses > dyn.CombinedAccesses {
+		t.Errorf("static combined more accesses (%d) than dynamic (%d)",
+			stat.CombinedAccesses, dyn.CombinedAccesses)
+	}
+}
+
+// TestStaticCombiningSkipsUnprovenGroups: a leaf only reachable through a
+// jalr has an unconstrained static frame alignment, so no group is proven
+// — even though every dynamic entry happens to be line-aligned and the
+// dynamic window combines freely.
+func TestStaticCombiningSkipsUnprovenGroups(t *testing.T) {
+	src := `
+        .text
+main:
+        li   $s0, 0
+        li   $s1, 50
+        la   $t9, leaf
+loop:
+        jalr $ra, $t9
+        addi $s0, $s0, 1
+        bne  $s0, $s1, loop
+        out  $s0
+        halt
+leaf:
+        addi $sp, $sp, -32
+        sw   $s0, 0($sp) !local
+        sw   $s1, 4($sp) !local
+        lw   $s0, 0($sp) !local
+        lw   $s1, 4($sp) !local
+        addi $sp, $sp, 32
+        jr   $ra
+`
+	prog := compile(t, src)
+	cfg := config.Default().WithPorts(3, 1)
+	cfg.CombineWidth = 4
+	dyn := simulate(t, prog, cfg)
+	if dyn.CombinedAccesses == 0 {
+		t.Fatal("dynamic combining never fired through the indirect call")
+	}
+
+	cfg.CombineStatic = true
+	stat := simulate(t, prog, cfg)
+	checkFunctional(t, prog, stat)
+	if stat.CombinedAccesses != 0 {
+		t.Errorf("static mode combined %d accesses with no proven group", stat.CombinedAccesses)
+	}
+}
+
+// TestWithStaticOptimizationsEndToEnd runs the full static configuration
+// (forwarding + combining) and checks the per-stream counters surface in
+// the stat block.
+func TestWithStaticOptimizationsEndToEnd(t *testing.T) {
+	prog := compile(t, burstProgram)
+	res := simulate(t, prog, config.Default().WithPorts(3, 2).WithStaticOptimizations(4))
+	checkFunctional(t, prog, res)
+	if res.FastFwdLoads == 0 {
+		t.Error("no static fast forwards on save/restore code")
+	}
+	if res.CombinedAccesses == 0 {
+		t.Error("no static combines on save/restore code")
+	}
+	var lvaq *StreamResult
+	for i := range res.Streams {
+		if res.Streams[i].Local {
+			lvaq = &res.Streams[i]
+		}
+	}
+	if lvaq == nil {
+		t.Fatal("no local stream in result")
+	}
+	if lvaq.Stats.FastFwdLoads != res.FastFwdLoads || lvaq.Stats.Combined != res.CombinedAccesses {
+		t.Errorf("per-stream counters (%d fwd, %d combined) disagree with aggregates (%d, %d)",
+			lvaq.Stats.FastFwdLoads, lvaq.Stats.Combined, res.FastFwdLoads, res.CombinedAccesses)
+	}
+	// The stat block must carry the per-stream forwarded/combined counts.
+	out := res.String()
+	if !strings.Contains(out, "fwd") || !strings.Contains(out, "combined") {
+		t.Errorf("stat block missing per-stream forward/combine counts:\n%s", out)
+	}
+}

@@ -242,3 +242,55 @@ func TestExperimentFig10Renders(t *testing.T) {
 		t.Errorf("fig10 output malformed:\n%s", out)
 	}
 }
+
+func TestExperimentAblationStaticOptRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment in -short mode")
+	}
+	e, err := ByID("ablation-static-opt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run(testRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"off", "dynamic", "static", "li", "vortex"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation-static-opt output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestShapeStaticOptNeverExceedsDynamic: the static tables only restrict
+// the dynamic mechanisms, so the static event counts are bounded by the
+// dynamic ones on every program — and the analyzer proves enough pairs on
+// the call-heavy workloads that static forwarding still fires.
+func TestShapeStaticOptNeverExceedsDynamic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment in -short mode")
+	}
+	for _, name := range []string{"li", "vortex"} {
+		w, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dyn, err := testRunner.Result(w, cfgNM(3, 2).WithOptimizations(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stat, err := testRunner.Result(w, cfgNM(3, 2).WithStaticOptimizations(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stat.FastFwdLoads > dyn.FastFwdLoads {
+			t.Errorf("%s: static forwarded %d > dynamic %d", name, stat.FastFwdLoads, dyn.FastFwdLoads)
+		}
+		if stat.CombinedAccesses > dyn.CombinedAccesses {
+			t.Errorf("%s: static combined %d > dynamic %d", name, stat.CombinedAccesses, dyn.CombinedAccesses)
+		}
+		if stat.FastFwdLoads == 0 {
+			t.Errorf("%s: static forwarding never fired", name)
+		}
+	}
+}

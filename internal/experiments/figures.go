@@ -190,6 +190,15 @@ func init() {
 			"programs under (3+1).",
 		Run: runAblationCombine,
 	})
+	registerExperiment(Experiment{
+		ID:    "ablation-static-opt",
+		Title: "Ablation: static vs dynamic forwarding/combining",
+		Description: "The LVAQ optimizations restricted to the " +
+			"interprocedural dependence analyzer's proven forwarding " +
+			"pairs and combining groups, against the unrestricted " +
+			"dynamic mechanisms and against no optimizations.",
+		Run: runAblationStaticOpt,
+	})
 }
 
 func runTable1(*Runner) (string, error) {
@@ -631,6 +640,33 @@ func runAblationLVCAssoc(r *Runner) (string, error) {
 				return "", err
 			}
 			t.AddRow(w.Name, assoc, res.Cycles, fmt.Sprintf("%.3f", 100*res.LVC.MissRate()))
+		}
+	}
+	return t.Render(), nil
+}
+
+func runAblationStaticOpt(r *Runner) (string, error) {
+	t := stats.NewTable("Static vs dynamic LVAQ optimizations under (3+2), 4-way combining",
+		"program", "mode", "cycles", "fast fwds", "combined")
+	for _, name := range []string{"li", "vortex", "gcc", "ijpeg"} {
+		w, err := workload.ByName(name)
+		if err != nil {
+			return "", err
+		}
+		modes := []struct {
+			name string
+			cfg  config.Config
+		}{
+			{"off", cfgNM(3, 2)},
+			{"dynamic", cfgNM(3, 2).WithOptimizations(4)},
+			{"static", cfgNM(3, 2).WithStaticOptimizations(4)},
+		}
+		for _, m := range modes {
+			res, err := r.Result(w, m.cfg)
+			if err != nil {
+				return "", err
+			}
+			t.AddRow(w.Name, m.name, res.Cycles, res.FastFwdLoads, res.CombinedAccesses)
 		}
 	}
 	return t.Render(), nil

@@ -48,12 +48,19 @@ type Stream struct {
 
 	// Access-combining window (§2.2.2), reset each cycle: one port grant
 	// covers up to Spec.CombineWidth consecutive same-line accesses of
-	// the same kind.
+	// the same kind. Under Spec.CombineStatic the window additionally
+	// belongs to one statically-proven group (combineGroup) and only
+	// members of that group may open or ride it.
 	combineLine   uint32
 	combineLeft   int
 	combineIsLoad bool
 	combineAnchor int
+	combineGroup  int
 }
+
+// GroupNone marks an access that belongs to no statically-proven
+// combining group.
+const GroupNone = -1
 
 // NewStream builds a stream from its spec. The cache is constructed by
 // the caller (it plugs into a shared lower hierarchy).
@@ -95,8 +102,13 @@ func (s *Stream) Dispatch(e Entry) {
 func (s *Stream) Insert(e Entry) { s.Queue.Push(e) }
 
 // Remove deletes an access from the queue (dual-copy kill, misroute
-// recovery). Panics if e is not in this stream.
-func (s *Stream) Remove(e Entry) { s.Queue.Remove(e) }
+// recovery). Panics if e is not in this stream. Removal shifts younger
+// entries down, invalidating the combining window's position anchor, so
+// the window closes.
+func (s *Stream) Remove(e Entry) {
+	s.Queue.Remove(e)
+	s.combineLeft = 0
+}
 
 // Process walks the queue in program order, calling fn with each entry and
 // its position. fn must not add or remove entries.
@@ -110,10 +122,13 @@ func (s *Stream) Process(fn func(pos int, e Entry)) {
 // cycle. A granted access on a combining stream opens a combining window:
 // up to CombineWidth-1 further same-kind accesses to the same line within
 // the window ride along without consuming another port (combined=true).
-func (s *Stream) Grant(pos int, addr uint32, isLoad bool) (ok, combined bool) {
+// group is the access's static combining-group id (GroupNone if it
+// belongs to none); it only gates anything under Spec.CombineStatic.
+func (s *Stream) Grant(pos int, addr uint32, isLoad bool, group int) (ok, combined bool) {
 	if s.combineLeft > 0 && s.combineIsLoad == isLoad &&
 		s.Cache.SameLine(s.combineLine, addr) &&
-		pos >= 0 && pos-s.combineAnchor < s.Spec.CombineWidth {
+		pos >= 0 && pos-s.combineAnchor < s.Spec.CombineWidth &&
+		(!s.Spec.CombineStatic || (group != GroupNone && group == s.combineGroup)) {
 		s.combineLeft--
 		s.Stats.Combined++
 		return true, true
@@ -121,11 +136,12 @@ func (s *Stream) Grant(pos int, addr uint32, isLoad bool) (ok, combined bool) {
 	if !s.Ports.Grant(addr, !isLoad) {
 		return false, false
 	}
-	if s.Spec.CombineWidth > 1 {
+	if s.Spec.CombineWidth > 1 && (!s.Spec.CombineStatic || group != GroupNone) {
 		s.combineLine = addr
 		s.combineLeft = s.Spec.CombineWidth - 1
 		s.combineIsLoad = isLoad
 		s.combineAnchor = pos
+		s.combineGroup = group
 	}
 	return true, false
 }
@@ -136,11 +152,11 @@ func (s *Stream) Grant(pos int, addr uint32, isLoad bool) (ok, combined bool) {
 // so a store that is not its stream's oldest entry is a pipeline bug and
 // panics. On CommitMSHRStall the port stays consumed, as it would in
 // hardware; the caller retries next cycle.
-func (s *Stream) CommitStore(now uint64, e Entry, addr uint32) (CommitStatus, bool) {
+func (s *Stream) CommitStore(now uint64, e Entry, addr uint32, group int) (CommitStatus, bool) {
 	if s.Queue.Len() == 0 || s.Queue.Head() != e {
 		panic("memsys: CommitStore on an entry that is not the stream head")
 	}
-	ok, combined := s.Grant(0, addr, false)
+	ok, combined := s.Grant(0, addr, false, group)
 	if !ok {
 		s.Stats.StorePortStalls++
 		return CommitPortStall, false
@@ -163,12 +179,22 @@ func (s *Stream) Retire(e Entry) {
 }
 
 // Squash removes every access younger than maxSeq and returns how many
-// were dropped.
-func (s *Stream) Squash(maxSeq uint64) int { return s.Queue.TruncateYounger(maxSeq) }
+// were dropped. A squash mid-cycle must also close the combining window:
+// its anchor is a queue position that may now name a different (younger,
+// re-dispatched) access, and a post-recovery access must not ride a grant
+// won by a squashed one.
+func (s *Stream) Squash(maxSeq uint64) int {
+	s.combineLeft = 0
+	return s.Queue.TruncateYounger(maxSeq)
+}
 
 // Drain empties the queue and returns how many entries were still
-// in flight — 0 for a cleanly drained pipeline, which tests assert.
-func (s *Stream) Drain() int { return s.Queue.Clear() }
+// in flight — 0 for a cleanly drained pipeline, which tests assert. The
+// combining window cannot survive without its anchor entry.
+func (s *Stream) Drain() int {
+	s.combineLeft = 0
+	return s.Queue.Clear()
+}
 
 // Transfer moves a wrongly-steered access from one stream to another
 // (misroute recovery): it is removed from its old queue, appended to the
