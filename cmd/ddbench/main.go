@@ -5,15 +5,23 @@
 //	ddbench -list
 //	ddbench -exp fig7 -scale 0.5
 //	ddbench -exp all -scale 1.0 -v
+//	ddbench -exp all -scale 0.1 -timeout 10m -maxcycles 50000000
+//
+// -timeout bounds the whole invocation in wall-clock time and -maxcycles
+// bounds each individual simulation; either abort exits non-zero with the
+// typed failure and, when available, the pipeline snapshot of the run that
+// tripped (the watchdog/abort state dump).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/simerr"
 )
 
 func main() {
@@ -22,6 +30,9 @@ func main() {
 		scale = flag.Float64("scale", 1.0, "workload scale factor")
 		list  = flag.Bool("list", false, "list experiments and exit")
 		verb  = flag.Bool("v", false, "print per-simulation progress")
+
+		maxCycles = flag.Uint64("maxcycles", 0, "abort any single simulation after this many cycles (0 = unbounded)")
+		timeout   = flag.Duration("timeout", 0, "abort the whole invocation after this much wall-clock time (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -35,6 +46,10 @@ func main() {
 	r := experiments.NewRunner(*scale)
 	if *verb {
 		r.Progress = os.Stderr
+	}
+	r.RunOpts.MaxCycles = *maxCycles
+	if *timeout > 0 {
+		r.RunOpts.Deadline = time.Now().Add(*timeout)
 	}
 
 	var selected []experiments.Experiment
@@ -54,6 +69,10 @@ func main() {
 		out, err := e.Run(r)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ddbench: %s: %v\n", e.ID, err)
+			var se *simerr.SimError
+			if errors.As(err, &se) {
+				fmt.Fprintf(os.Stderr, "pipeline snapshot (%s):\n%s", se.Kind, se.Snapshot)
+			}
 			os.Exit(1)
 		}
 		fmt.Printf("==> %s — %s\n", e.ID, e.Title)

@@ -5,9 +5,18 @@
 //
 //	ddsim -w vortex -ports 2+2 -opt -scale 0.5
 //	ddsim -f program.s -ports 3+2 -steer sp
+//	ddsim -w gcc -maxcycles 2000000 -timeout 30s
+//
+// Every run is bounded: -maxcycles caps the simulated cycle count,
+// -timeout caps wall-clock time, and a forward-progress watchdog aborts a
+// pipeline that stops committing. An aborted run exits non-zero and prints
+// the typed failure with its pipeline snapshot (cycle, ROB head, stream
+// queue heads, port/combining state).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -15,6 +24,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/simerr"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -32,6 +42,10 @@ func main() {
 		maxInst = flag.Uint64("maxinst", 0, "commit budget (0 = run to halt)")
 		list    = flag.Bool("list", false, "list available workloads and exit")
 		traceN  = flag.Int("trace", 0, "print a pipeline trace of the first N instructions")
+
+		maxCycles = flag.Uint64("maxcycles", 0, "abort after this many simulated cycles (0 = unbounded)")
+		timeout   = flag.Duration("timeout", 0, "abort after this much wall-clock time (0 = unbounded)")
+		watchdog  = flag.Uint64("watchdog", 0, "forward-progress window in cycles (0 = default)")
 	)
 	flag.Parse()
 
@@ -103,9 +117,18 @@ func main() {
 		rec = trace.NewRecorder(*traceN)
 		c.SetTracer(rec)
 	}
-	res, err := c.Run()
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := c.RunWith(ctx, core.RunOptions{
+		MaxCycles:      *maxCycles,
+		WatchdogCycles: *watchdog,
+	})
 	if err != nil {
-		fatal(err)
+		fatalSim(err)
 	}
 	fmt.Print(res)
 	if rec != nil {
@@ -118,5 +141,16 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "ddsim:", err)
+	os.Exit(1)
+}
+
+// fatalSim reports a failed run; for a typed simulation failure it also
+// prints the pipeline snapshot (the watchdog/abort state dump).
+func fatalSim(err error) {
+	fmt.Fprintln(os.Stderr, "ddsim:", err)
+	var se *simerr.SimError
+	if errors.As(err, &se) {
+		fmt.Fprintf(os.Stderr, "pipeline snapshot (%s):\n%s", se.Kind, se.Snapshot)
+	}
 	os.Exit(1)
 }

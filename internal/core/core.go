@@ -23,7 +23,6 @@ package core
 
 import (
 	"errors"
-	"fmt"
 
 	"repro/internal/analysis"
 	"repro/internal/asm"
@@ -222,6 +221,11 @@ type Core struct {
 
 	tracer Tracer
 
+	// fi, when non-nil, perturbs the run at the FaultInjector hook points
+	// (see run.go); lastCommitCycle feeds the failure snapshot.
+	fi              FaultInjector
+	lastCommitCycle uint64
+
 	dispatchStallUntil uint64
 	fetchDone          bool        // emulator halted or instruction budget reached
 	pending            *emu.Effect // dispatch held back by a full queue
@@ -300,25 +304,10 @@ func (c *Core) route(local bool) int {
 	return c.nonlocalIdx
 }
 
-// ErrBudget is reported (wrapped) by Run when the cycle safety budget is
-// exhausted before the program halts — almost always a sign of a workload
-// that does not terminate.
+// ErrBudget is reported (wrapped, inside a *simerr.SimError) by Run when
+// the cycle safety budget is exhausted before the program halts — almost
+// always a sign of a workload that does not terminate.
 var ErrBudget = errors.New("core: cycle budget exhausted")
-
-// Run simulates until the program halts and the pipeline drains (or until
-// the committed-instruction budget in the configuration is reached), then
-// returns the collected statistics.
-func (c *Core) Run() (*Result, error) {
-	// Safety net: no workload should ever run below 1/100 IPC.
-	const cycleSlack = 1_000_000
-	for !c.done() {
-		c.cycle()
-		if c.now > 100*c.stats.Committed+cycleSlack {
-			return nil, fmt.Errorf("%w at cycle %d (%d committed)", ErrBudget, c.now, c.stats.Committed)
-		}
-	}
-	return c.result(), nil
-}
 
 func (c *Core) done() bool {
 	return c.fetchDone && len(c.rob) == 0

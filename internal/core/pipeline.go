@@ -12,6 +12,9 @@ import (
 // then the memory pipelines, then issue, then fetch/dispatch.
 func (c *Core) cycle() {
 	c.now++
+	if c.fi != nil {
+		c.fi.BeginCycle(c.now)
+	}
 	for _, s := range c.streams {
 		s.Reset()
 	}
@@ -32,6 +35,13 @@ func (c *Core) commitStage() {
 		u := c.rob[0]
 		if !u.completed || u.readyAt > c.now {
 			break
+		}
+		if u.isMem && c.fi != nil && len(c.streams) > 1 && c.fi.CommitDesync(u.seq) {
+			// Injected fault: corrupt the core's record of which stream
+			// the access occupies without moving the queue entry. The
+			// CommitStore/Retire head-only invariants below must catch
+			// the lie and panic; RunWith contains it into a SimError.
+			u.stream = (u.stream + 1) % len(c.streams)
 		}
 		if u.isMem && !u.isLoad {
 			// Stores write their stream's cache at commit and need a
@@ -315,8 +325,14 @@ func (c *Core) dispatchStage() {
 		var target int
 		if in.IsMem() {
 			local, dual = c.steer(ef)
+			if c.fi != nil && c.cfg.Decoupled() {
+				// Injected fault: a corrupted steering hint. The
+				// verification path (checkSteering) recovers misroutes,
+				// so the lie costs cycles, never correctness.
+				local = c.fi.FlipSteer(ef.PC, local)
+			}
 			target = c.route(local)
-			if c.streams[target].Full() || (dual && c.streams[c.route(!local)].Full()) {
+			if c.streamFull(target) || (dual && c.streamFull(c.route(!local))) {
 				// Hold the effect for the next cycle.
 				c.pending = &ef
 				c.stats.QueueFullStalls++
@@ -402,6 +418,17 @@ func (c *Core) dispatchStage() {
 	}
 }
 
+// streamFull reports whether stream id cannot accept another access this
+// cycle: its architectural size is reached, or an injected queue-pressure
+// fault has transiently shrunk its effective capacity.
+func (c *Core) streamFull(id int) bool {
+	s := c.streams[id]
+	if c.fi != nil && s.Occupancy() >= c.fi.QueueCap(id, s.Spec.QueueSize) {
+		return true
+	}
+	return s.Full()
+}
+
 // producer returns the in-flight producer of r, or nil when the
 // architectural value is already available. Reads of the hardwired zero
 // register are always ready.
@@ -416,18 +443,24 @@ func (c *Core) producer(r isa.Reg) *uop {
 	return p
 }
 
-// nextEffect returns the next architectural effect to dispatch: a squashed
-// effect awaiting replay, the one buffered by a queue-full stall, or a
+// nextEffect returns the next architectural effect to dispatch: the one
+// buffered by a queue-full stall, a squashed effect awaiting replay, or a
 // fresh emulator step.
+//
+// pending must drain before replay. A queue-full stall can park the front
+// replay entry in pending; everything still in replay is then younger than
+// it. Popping replay first would dispatch out of program order — and, if
+// the popped effect stalled too, overwrite pending and silently drop the
+// older effect.
 func (c *Core) nextEffect() (emu.Effect, bool) {
-	if len(c.replay) > 0 {
-		ef := c.replay[0]
-		c.replay = c.replay[1:]
-		return ef, true
-	}
 	if c.pending != nil {
 		ef := *c.pending
 		c.pending = nil
+		return ef, true
+	}
+	if len(c.replay) > 0 {
+		ef := c.replay[0]
+		c.replay = c.replay[1:]
 		return ef, true
 	}
 	if c.emu.Halted {
@@ -605,8 +638,9 @@ func (c *Core) squashYounger(u *uop) {
 
 	// Re-dispatch order must be program order: the squashed window is
 	// older than a queue-full pending effect, which in turn is older
-	// than any effects still waiting in the replay buffer (nextEffect
-	// drains replay first, so pending always came from the front).
+	// than any effects still waiting in the replay buffer (pending is
+	// either a fresh fetch buffered while replay was empty, or the
+	// former front of the replay buffer).
 	if c.pending != nil {
 		effs = append(effs, *c.pending)
 		c.pending = nil

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/simerr"
+)
+
+// DefaultWatchdogCycles is the forward-progress watchdog window used when
+// RunOptions.WatchdogCycles is zero: a pipeline that commits nothing for
+// this many consecutive cycles is declared livelocked. The value is far
+// above any legitimate stall (the longest architectural delay is a few
+// hundred cycles of memory latency and MSHR contention), so a fault-free
+// run can never trip it.
+const DefaultWatchdogCycles = 1_000_000
+
+// ctxCheckInterval is how often (in cycles) the run loop polls the context
+// for cancellation; a power of two so the check compiles to a mask.
+const ctxCheckInterval = 1 << 10
+
+// RunOptions bounds and instruments one simulation run. The zero value
+// reproduces the historical Run() behaviour (no cycle cap, no deadline,
+// default watchdog, no fault injection) bit-for-bit.
+type RunOptions struct {
+	// MaxCycles aborts the run with a KindMaxCycles SimError once the
+	// cycle counter reaches it (0 = unbounded).
+	MaxCycles uint64
+	// Deadline aborts the run with a KindDeadline SimError once wall-clock
+	// time passes it (zero = none). It composes with the context passed to
+	// RunWith: whichever expires first wins.
+	Deadline time.Time
+	// WatchdogCycles is the forward-progress window: a run that commits no
+	// instruction for this many consecutive cycles is aborted with a
+	// KindWatchdog SimError carrying a pipeline snapshot. 0 selects
+	// DefaultWatchdogCycles; use DisableWatchdog to turn the check off.
+	WatchdogCycles uint64
+	// DisableWatchdog turns the forward-progress check off entirely.
+	DisableWatchdog bool
+	// Injector, when non-nil, perturbs the run deterministically (see
+	// internal/faultinject). Nil injects nothing and costs nothing.
+	Injector FaultInjector
+}
+
+// FaultInjector is the hook surface a fault-injection campaign drives.
+// Implementations must be deterministic functions of their own seed and the
+// call sequence: the core calls them at fixed points of its (deterministic)
+// cycle loop, so equal seeds replay equal faults. The no-fault answers are:
+// FlipSteer returns local unchanged, QueueCap returns arch, AllowGrant
+// returns true, CommitDesync returns false.
+type FaultInjector interface {
+	// BeginCycle is called once at the top of every cycle.
+	BeginCycle(now uint64)
+	// FlipSteer may corrupt the dispatch-time local/non-local
+	// classification of the memory access at pc (a corrupted steering
+	// hint); the steering-verification and misroute-recovery machinery
+	// must absorb the lie.
+	FlipSteer(pc uint32, local bool) bool
+	// QueueCap returns the effective capacity of stream id this cycle;
+	// returning less than arch models transient queue pressure.
+	QueueCap(id, arch int) int
+	// AllowGrant reports whether stream id may win a cache port for the
+	// given access this cycle; false models a dropped/delayed port grant.
+	AllowGrant(id int, addr uint32, isLoad bool) bool
+	// CommitDesync, consulted when a memory instruction reaches the
+	// commit head, reports whether the core's stream bookkeeping for it
+	// should be corrupted — a deliberate invariant violation that must be
+	// caught by the memory subsystem's head-only-commit checks and
+	// contained into a typed error.
+	CommitDesync(seq uint64) bool
+}
+
+// SetFaultInjector installs (or with nil removes) a fault injector. It must
+// be called before Run/RunWith.
+func (c *Core) SetFaultInjector(fi FaultInjector) {
+	c.fi = fi
+	for _, s := range c.streams {
+		if fi == nil {
+			s.GrantHook = nil
+		} else {
+			s.GrantHook = fi.AllowGrant
+		}
+	}
+}
+
+// Run simulates until the program halts and the pipeline drains (or until
+// the committed-instruction budget in the configuration is reached), then
+// returns the collected statistics. Equivalent to RunWith with a background
+// context and zero options.
+func (c *Core) Run() (*Result, error) {
+	return c.RunWith(context.Background(), RunOptions{})
+}
+
+// RunWith simulates like Run, bounded and instrumented by ctx and opts:
+// the run ends early — with a *simerr.SimError carrying a pipeline
+// snapshot — when the context is cancelled, a deadline passes, the cycle
+// cap is reached, or the forward-progress watchdog finds a livelocked
+// pipeline. Any invariant-violation panic raised inside the simulator is
+// contained and returned as the same error type. When nothing trips, the
+// result is bit-identical to Run's.
+func (c *Core) RunWith(ctx context.Context, opts RunOptions) (res *Result, err error) {
+	if opts.Injector != nil {
+		c.SetFaultInjector(opts.Injector)
+	}
+	if !opts.Deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, opts.Deadline)
+		defer cancel()
+	}
+	watchdog := opts.WatchdogCycles
+	if watchdog == 0 {
+		watchdog = DefaultWatchdogCycles
+	}
+
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, &simerr.SimError{
+				Kind:       simerr.KindPanic,
+				Reason:     fmt.Sprint(p),
+				PanicValue: p,
+				Stack:      string(debug.Stack()),
+				Snapshot:   c.snapshot(),
+			}
+		}
+	}()
+
+	// Legacy safety net: no workload should ever run below 1/100 IPC.
+	const cycleSlack = 1_000_000
+	lastCommitted, lastProgress := c.stats.Committed, c.now
+	for !c.done() {
+		c.cycle()
+		if c.stats.Committed != lastCommitted {
+			lastCommitted, lastProgress = c.stats.Committed, c.now
+			c.lastCommitCycle = c.now
+		} else if !opts.DisableWatchdog && c.now-lastProgress >= watchdog {
+			return nil, c.abort(simerr.KindWatchdog,
+				fmt.Sprintf("no instruction committed for %d cycles", watchdog), nil)
+		}
+		if opts.MaxCycles > 0 && c.now >= opts.MaxCycles {
+			return nil, c.abort(simerr.KindMaxCycles,
+				fmt.Sprintf("cycle cap %d reached", opts.MaxCycles), nil)
+		}
+		if c.now%ctxCheckInterval == 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				kind := simerr.KindCanceled
+				reason := "run canceled"
+				if errors.Is(cerr, context.DeadlineExceeded) {
+					kind, reason = simerr.KindDeadline, "deadline exceeded"
+				}
+				return nil, c.abort(kind, reason, cerr)
+			}
+		}
+		if c.now > 100*c.stats.Committed+cycleSlack {
+			return nil, c.abort(simerr.KindBudget,
+				"cycle budget exhausted", ErrBudget)
+		}
+	}
+	return c.result(), nil
+}
+
+// abort builds the typed error for an abnormal end of the run.
+func (c *Core) abort(kind simerr.Kind, reason string, cause error) *simerr.SimError {
+	return &simerr.SimError{
+		Kind:     kind,
+		Reason:   reason,
+		Snapshot: c.snapshot(),
+		Err:      cause,
+	}
+}
+
+// snapshot captures the pipeline state for a SimError. It only reads, so it
+// is safe to call even from the panic-recovery path where the machine state
+// may be mid-cycle.
+func (c *Core) snapshot() simerr.Snapshot {
+	s := simerr.Snapshot{
+		Cycle:           c.now,
+		Committed:       c.stats.Committed,
+		LastCommitCycle: c.lastCommitCycle,
+		ROBLen:          len(c.rob),
+		ROBCap:          c.cfg.ROBSize,
+	}
+	if len(c.rob) > 0 {
+		s.ROBHead = entryState(c.rob[0])
+	}
+	for _, st := range c.streams {
+		left, line, group := st.CombineWindow()
+		ss := simerr.StreamState{
+			Name:         st.Spec.Name,
+			Len:          st.Occupancy(),
+			Cap:          st.Spec.QueueSize,
+			Ports:        st.Ports.Limit(),
+			PortsInUse:   st.Ports.InUse(),
+			CombineLeft:  left,
+			CombineLine:  line,
+			CombineGroup: group,
+		}
+		if st.Occupancy() > 0 {
+			ss.Head = entryState(st.Queue.Head().(*uop))
+		}
+		s.Streams = append(s.Streams, ss)
+	}
+	return s
+}
+
+func entryState(u *uop) *simerr.EntryState {
+	return &simerr.EntryState{
+		Seq:          u.seq,
+		PC:           u.ef.PC,
+		Text:         u.ef.Inst.String(),
+		IsLoad:       u.isMem && u.isLoad,
+		IsStore:      u.isMem && !u.isLoad,
+		Stream:       u.stream,
+		AddrKnown:    u.addrKnown,
+		Addr:         u.ef.Addr,
+		Issued:       u.issued,
+		Completed:    u.completed,
+		DispatchedAt: u.dispatchedAt,
+	}
+}

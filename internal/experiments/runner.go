@@ -8,9 +8,11 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"runtime/debug"
 	"sort"
 	"sync"
 
@@ -18,23 +20,36 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/profile"
+	"repro/internal/simerr"
 	"repro/internal/workload"
 )
 
 // Runner executes simulations for the experiment drivers, caching results
 // so overlapping experiments (e.g. Fig 7 and Fig 11) share runs. It is
 // safe for concurrent use and runs independent simulations in parallel.
+// A simulation that panics or fails is contained: the error (a typed
+// *simerr.SimError for panics) is returned to every waiter and the
+// in-flight bookkeeping is always released, so concurrent callers of the
+// same key can never deadlock on a crashed run.
 type Runner struct {
 	// Scale is the workload scale factor (1.0 = full experiment size).
 	Scale float64
 	// Progress, when non-nil, receives one line per finished simulation.
 	Progress io.Writer
+	// RunOpts bounds every simulation this runner starts (cycle caps,
+	// deadline, watchdog, fault injection). The zero value reproduces
+	// unbounded historical behaviour.
+	RunOpts core.RunOptions
 
 	mu       sync.Mutex
 	programs map[string]*asm.Program
 	results  map[string]*core.Result
 	profiles map[string]*profile.Profile
 	inflight map[string]*sync.WaitGroup
+
+	// testRun, when non-nil, replaces the core simulation call; tests use
+	// it to inject panics, failures and slow runs.
+	testRun func(w workload.Workload, cfg config.Config) (*core.Result, error)
 }
 
 // NewRunner returns a Runner at the given workload scale.
@@ -66,8 +81,15 @@ func cfgKey(name string, cfg config.Config) string {
 	return name + "|" + cfg.Key()
 }
 
-// Result simulates workload w under cfg (cached).
+// Result simulates workload w under cfg (cached), unbounded except by the
+// runner's RunOpts.
 func (r *Runner) Result(w workload.Workload, cfg config.Config) (*core.Result, error) {
+	return r.ResultCtx(context.Background(), w, cfg)
+}
+
+// ResultCtx simulates workload w under cfg (cached), additionally bounded
+// by ctx: cancellation ends the simulation with a typed *simerr.SimError.
+func (r *Runner) ResultCtx(ctx context.Context, w workload.Workload, cfg config.Config) (*core.Result, error) {
 	key := cfgKey(w.Name, cfg)
 	for {
 		r.mu.Lock()
@@ -87,21 +109,7 @@ func (r *Runner) Result(w workload.Workload, cfg config.Config) (*core.Result, e
 		break
 	}
 
-	prog := r.program(w)
-	c, err := core.New(prog, cfg)
-	var res *core.Result
-	if err == nil {
-		res, err = c.Run()
-	}
-
-	r.mu.Lock()
-	if err == nil {
-		r.results[key] = res
-	}
-	r.inflight[key].Done()
-	delete(r.inflight, key)
-	r.mu.Unlock()
-
+	res, err := r.simulate(ctx, key, w, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s under %s: %w", w.Name, cfg.Name(), err)
 	}
@@ -110,6 +118,42 @@ func (r *Runner) Result(w workload.Workload, cfg config.Config) (*core.Result, e
 			w.Name, cfg.Name(), res.IPC(), res.Cycles)
 	}
 	return res, nil
+}
+
+// simulate runs one uncached simulation for key. The deferred block is the
+// in-flight release point: it runs on success, on error AND on panic, so a
+// crashing run can never strand concurrent waiters on the key, and a panic
+// anywhere on the path (program generation, core construction — the cycle
+// loop itself is already contained by core.RunWith) is converted into the
+// same typed error the core produces.
+func (r *Runner) simulate(ctx context.Context, key string, w workload.Workload, cfg config.Config) (res *core.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, &simerr.SimError{
+				Kind:       simerr.KindPanic,
+				Reason:     fmt.Sprint(p),
+				PanicValue: p,
+				Stack:      string(debug.Stack()),
+			}
+		}
+		r.mu.Lock()
+		if err == nil {
+			r.results[key] = res
+		}
+		r.inflight[key].Done()
+		delete(r.inflight, key)
+		r.mu.Unlock()
+	}()
+
+	if r.testRun != nil {
+		return r.testRun(w, cfg)
+	}
+	prog := r.program(w)
+	c, err := core.New(prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return c.RunWith(ctx, r.RunOpts)
 }
 
 // Profile returns the functional profile of workload w (cached).
@@ -135,6 +179,14 @@ func (r *Runner) Profile(w workload.Workload) (*profile.Profile, error) {
 // the cache, bounded by par simultaneous simulations. Every failure is
 // reported: the returned error joins the errors of all failed runs.
 func (r *Runner) Prefetch(pairs []Pair, par int) error {
+	return r.PrefetchCtx(context.Background(), pairs, par)
+}
+
+// PrefetchCtx is Prefetch bounded by ctx: once the context is cancelled no
+// further simulations start, and the context error joins the result. The
+// semaphore is acquired before each worker goroutine is spawned, so at most
+// par goroutines (not one per pair) ever exist at once.
+func (r *Runner) PrefetchCtx(ctx context.Context, pairs []Pair, par int) error {
 	if par < 1 {
 		par = 1
 	}
@@ -142,12 +194,16 @@ func (r *Runner) Prefetch(pairs []Pair, par int) error {
 	errCh := make(chan error, len(pairs))
 	var wg sync.WaitGroup
 	for _, p := range pairs {
+		if err := ctx.Err(); err != nil {
+			errCh <- err
+			break
+		}
+		sem <- struct{}{}
 		wg.Add(1)
 		go func(p Pair) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
-			if _, err := r.Result(p.W, p.Cfg); err != nil {
+			if _, err := r.ResultCtx(ctx, p.W, p.Cfg); err != nil {
 				errCh <- err
 			}
 		}(p)

@@ -1,12 +1,17 @@
 package experiments
 
 import (
+	"errors"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/simerr"
 	"repro/internal/workload"
 )
 
@@ -112,5 +117,117 @@ func TestRunnerPrefetchParallel(t *testing.T) {
 		if a != b {
 			t.Error("prefetch did not populate the cache")
 		}
+	}
+}
+
+// TestRunnerPanickingRunReleasesWaiters is the regression test for the
+// in-flight leak: a run that panics must return a typed *simerr.SimError to
+// every concurrent waiter on the key and release the in-flight entry, so
+// later calls for the same key run again instead of deadlocking.
+func TestRunnerPanickingRunReleasesWaiters(t *testing.T) {
+	r := NewRunner(0.02)
+	var calls atomic.Int32
+	r.testRun = func(workload.Workload, config.Config) (*core.Result, error) {
+		calls.Add(1)
+		panic("test-injected core invariant violation")
+	}
+	w := workload.Integers()[0]
+	cfg := config.Default()
+
+	const goroutines = 6
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = r.Result(w, cfg)
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("concurrent callers deadlocked on a panicking run")
+	}
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("caller %d: panicking run returned nil error", i)
+		}
+		var se *simerr.SimError
+		if !errors.As(err, &se) {
+			t.Fatalf("caller %d: error %T is not a *simerr.SimError: %v", i, err, err)
+		}
+		if se.Kind != simerr.KindPanic {
+			t.Fatalf("caller %d: kind %s, want %s", i, se.Kind, simerr.KindPanic)
+		}
+		if !strings.Contains(se.Reason, "test-injected") {
+			t.Fatalf("caller %d: reason %q lost the panic value", i, se.Reason)
+		}
+		if se.Stack == "" {
+			t.Fatalf("caller %d: contained panic carries no stack", i)
+		}
+	}
+	if calls.Load() == 0 {
+		t.Fatal("testRun hook never ran")
+	}
+
+	// The failed run must not poison the key: once the fault is gone, the
+	// same key simulates successfully.
+	want := &core.Result{}
+	r.testRun = func(workload.Workload, config.Config) (*core.Result, error) {
+		return want, nil
+	}
+	got, err := r.Result(w, cfg)
+	if err != nil || got != want {
+		t.Fatalf("retry after contained panic = (%v, %v), want the fresh result", got, err)
+	}
+}
+
+// TestPrefetchBoundsGoroutines verifies the semaphore is taken before each
+// worker is spawned: with par=3, no more than 3 simulations ever run at
+// once, and every worker goroutine exits by the time Prefetch returns.
+func TestPrefetchBoundsGoroutines(t *testing.T) {
+	const par = 3
+	r := NewRunner(0.02)
+	var cur, peak atomic.Int32
+	r.testRun = func(workload.Workload, config.Config) (*core.Result, error) {
+		n := cur.Add(1)
+		defer cur.Add(-1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		return &core.Result{}, nil
+	}
+
+	// Unique cache keys so every pair is a real run.
+	var pairs []Pair
+	w := workload.Integers()[0]
+	for i := 0; i < 12; i++ {
+		cfg := config.Default()
+		cfg.MaxInsts = uint64(1000 + i)
+		pairs = append(pairs, Pair{W: w, Cfg: cfg})
+	}
+
+	before := runtime.NumGoroutine()
+	if err := r.Prefetch(pairs, par); err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > par {
+		t.Errorf("peak concurrent simulations = %d, want <= %d", got, par)
+	}
+	// All workers are wg.Wait()ed inside Prefetch; allow the runtime a
+	// moment to reap exited goroutines before counting.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Errorf("goroutines leaked by Prefetch: %d before, %d after", before, after)
 	}
 }

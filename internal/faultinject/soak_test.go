@@ -1,0 +1,233 @@
+package faultinject
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/simerr"
+	"repro/internal/workload"
+)
+
+// The soak sweeps a seed matrix over all 12 workloads. Every seeded run
+// must end in one of exactly two ways, and within a hard cycle/time bound:
+//
+//   - recoverable campaign: success, with the functional outputs and
+//     committed-instruction count of the fault-free run (architecturally
+//     correct recovery, no silent stat corruption);
+//   - campaign including CommitDesync: a typed *simerr.SimError of
+//     KindPanic (contained invariant violation).
+//
+// Hangs are impossible by construction (MaxCycles + watchdog + the test
+// binary's own -timeout); a run that needs those bounds fails the test.
+//
+// FAULT_SOAK_SEEDS and FAULT_SOAK_SCALE override the matrix size; on
+// failure, a JSON report naming the workload, seed, parameters and
+// SimError snapshot is written under FAULT_SOAK_REPORT_DIR (when set) so
+// CI can upload the reproducer as an artifact.
+
+const (
+	defaultSoakSeeds = 25
+	defaultSoakScale = 0.02
+	// desyncEvery selects which seeds additionally arm CommitDesync.
+	desyncEvery = 5
+)
+
+func soakEnvInt(name string, def int) int {
+	if v := os.Getenv(name); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+func soakEnvFloat(name string, def float64) float64 {
+	if v := os.Getenv(name); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
+			return f
+		}
+	}
+	return def
+}
+
+// soakParams derives one seed's campaign deterministically: rotate through
+// single faults and combinations, and arm the unrecoverable desync on
+// every desyncEvery-th seed.
+func soakParams(seed int) Params {
+	combos := []Fault{
+		DropGrant,
+		BurstStall,
+		FlipSteer,
+		QueuePressure,
+		DropGrant | FlipSteer,
+		BurstStall | QueuePressure,
+		Recoverable,
+	}
+	p := Params{Faults: combos[seed%len(combos)]}
+	if seed > 0 && seed%desyncEvery == 0 {
+		p.Faults |= CommitDesync
+		p.DesyncAfter = uint64(20 + 37*seed%200)
+	}
+	return p
+}
+
+type soakReport struct {
+	Workload string `json:"workload"`
+	Seed     int    `json:"seed"`
+	Faults   string `json:"faults"`
+	Params   Params `json:"params"`
+	Failure  string `json:"failure"`
+	Error    string `json:"error,omitempty"`
+	Snapshot string `json:"snapshot,omitempty"`
+}
+
+var reportMu sync.Mutex
+
+// writeSoakReport appends the failing seed's reproducer to the artifact
+// file CI uploads. Best-effort: report errors surface in the test log only.
+func writeSoakReport(t *testing.T, rep soakReport) {
+	dir := os.Getenv("FAULT_SOAK_REPORT_DIR")
+	if dir == "" {
+		return
+	}
+	reportMu.Lock()
+	defer reportMu.Unlock()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("soak report: %v", err)
+		return
+	}
+	f, err := os.OpenFile(filepath.Join(dir, "fault-soak-failures.json"),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Logf("soak report: %v", err)
+		return
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(rep); err != nil {
+		t.Logf("soak report: %v", err)
+	}
+}
+
+func TestFaultInjectionSoak(t *testing.T) {
+	seeds := soakEnvInt("FAULT_SOAK_SEEDS", defaultSoakSeeds)
+	scale := soakEnvFloat("FAULT_SOAK_SCALE", defaultSoakScale)
+	if testing.Short() {
+		seeds = 4
+	}
+	cfg := testConfig()
+
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			prog := w.Program(scale)
+
+			baseCore, err := core.New(prog, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := baseCore.Run()
+			if err != nil {
+				t.Fatalf("fault-free run: %v", err)
+			}
+
+			fail := func(seed int, p Params, failure string, runErr error) {
+				rep := soakReport{
+					Workload: w.Name, Seed: seed,
+					Faults: p.Faults.String(), Params: p, Failure: failure,
+				}
+				if runErr != nil {
+					rep.Error = runErr.Error()
+					var se *simerr.SimError
+					if errors.As(runErr, &se) {
+						rep.Snapshot = se.Snapshot.String()
+					}
+				}
+				writeSoakReport(t, rep)
+				t.Errorf("seed %d (%s): %s (err: %v)", seed, p.Faults, failure, runErr)
+			}
+
+			for seed := 0; seed < seeds; seed++ {
+				p := soakParams(seed)
+				inj := New(int64(seed), p)
+				c, err := core.New(prog, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := c.RunWith(context.Background(), core.RunOptions{
+					// Generous but hard bounds: a run that hits either is
+					// a livelock the recovery machinery failed to resolve.
+					MaxCycles:      50*base.Cycles + 2_000_000,
+					WatchdogCycles: 250_000,
+					Injector:       inj,
+				})
+
+				if p.Faults&CommitDesync != 0 {
+					var se *simerr.SimError
+					switch {
+					case err == nil:
+						// Legal only if the desync never fired (run too
+						// short to reach DesyncAfter commits).
+						if inj.Stats().Desyncs != 0 {
+							fail(seed, p, "desync fired but run succeeded", nil)
+						}
+					case !errors.As(err, &se):
+						fail(seed, p, fmt.Sprintf("untyped error %T", err), err)
+					case se.Kind != simerr.KindPanic:
+						fail(seed, p, fmt.Sprintf("kind %s, want %s", se.Kind, simerr.KindPanic), err)
+					}
+					continue
+				}
+
+				if err != nil {
+					fail(seed, p, "recoverable campaign errored", err)
+					continue
+				}
+				if !inj.Delivered() {
+					fail(seed, p, "campaign delivered no faults", nil)
+					continue
+				}
+				if res.Committed != base.Committed {
+					fail(seed, p, fmt.Sprintf("committed %d, want %d", res.Committed, base.Committed), nil)
+					continue
+				}
+				if !outputsEqual(res.Output, base.Output) || !foutputsEqual(res.FOutput, base.FOutput) {
+					fail(seed, p, "architectural outputs diverged from the fault-free run", nil)
+				}
+			}
+		})
+	}
+}
+
+func outputsEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func foutputsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

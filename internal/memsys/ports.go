@@ -36,6 +36,24 @@ func (p *Ports) Reset() {
 	}
 }
 
+// Limit returns the port count.
+func (p *Ports) Limit() int { return p.limit }
+
+// InUse returns how many ports the current cycle has consumed. Under the
+// banked model it counts busy banks.
+func (p *Ports) InUse() int {
+	if p.model == config.PortsBanked {
+		n := 0
+		for _, b := range p.bankBusy {
+			if b {
+				n++
+			}
+		}
+		return n
+	}
+	return p.used
+}
+
 // Grant tries to allocate a port for an access this cycle.
 func (p *Ports) Grant(addr uint32, isStore bool) bool {
 	switch p.model {

@@ -23,12 +23,16 @@
 package repro
 
 import (
+	"context"
+	"errors"
+
 	"repro/internal/asm"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/emu"
 	"repro/internal/experiments"
 	"repro/internal/profile"
+	"repro/internal/simerr"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -93,6 +97,41 @@ func Assemble(name, source string) (*Program, error) { return asm.Assemble(name,
 // NewMachine loads a program into a fresh functional emulator.
 func NewMachine(prog *Program) *Machine { return emu.New(prog) }
 
+// RunOptions bounds and instruments one simulation run: a cycle cap, a
+// wall-clock deadline, the forward-progress watchdog window, and an
+// optional fault injector. The zero value reproduces the unbounded
+// historical behaviour bit-for-bit.
+type RunOptions = core.RunOptions
+
+// SimError is the typed failure of a simulation run: its Kind says why the
+// run ended (watchdog, cycle cap, deadline, cancellation, contained panic)
+// and its Snapshot captures the pipeline at the moment of failure — cycle,
+// ROB head, per-stream queue heads, port and combining-window state.
+type SimError = simerr.SimError
+
+// SimSnapshot is the pipeline state carried by a SimError.
+type SimSnapshot = simerr.Snapshot
+
+// SimErrorKind classifies a SimError.
+type SimErrorKind = simerr.Kind
+
+// SimError kinds.
+const (
+	SimWatchdog  = simerr.KindWatchdog
+	SimMaxCycles = simerr.KindMaxCycles
+	SimDeadline  = simerr.KindDeadline
+	SimCanceled  = simerr.KindCanceled
+	SimBudget    = simerr.KindBudget
+	SimPanic     = simerr.KindPanic
+)
+
+// AsSimError unwraps err to the *SimError in its chain, if any.
+func AsSimError(err error) (*SimError, bool) {
+	var se *SimError
+	ok := errors.As(err, &se)
+	return se, ok
+}
+
 // Run simulates a workload at the given scale (1.0 = full experiment
 // size) on the timing model.
 func Run(w Workload, scale float64, cfg Config) (*Result, error) {
@@ -101,11 +140,25 @@ func Run(w Workload, scale float64, cfg Config) (*Result, error) {
 
 // RunProgram simulates an assembled program on the timing model.
 func RunProgram(prog *Program, cfg Config) (*Result, error) {
+	return RunProgramWith(context.Background(), prog, cfg, RunOptions{})
+}
+
+// RunWith simulates a workload bounded and instrumented by ctx and opts;
+// abnormal ends (cancellation, cycle cap, watchdog, contained panics) are
+// reported as a *SimError.
+func RunWith(ctx context.Context, w Workload, scale float64, cfg Config, opts RunOptions) (*Result, error) {
+	return RunProgramWith(ctx, w.Program(scale), cfg, opts)
+}
+
+// RunProgramWith simulates an assembled program bounded and instrumented
+// by ctx and opts; abnormal ends (cancellation, cycle cap, watchdog,
+// contained panics) are reported as a *SimError.
+func RunProgramWith(ctx context.Context, prog *Program, cfg Config, opts RunOptions) (*Result, error) {
 	c, err := core.New(prog, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return c.Run()
+	return c.RunWith(ctx, opts)
 }
 
 // ProfileWorkload runs a workload on the functional emulator and returns

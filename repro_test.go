@@ -1,8 +1,11 @@
 package repro
 
 import (
+	"context"
 	"strings"
 	"testing"
+
+	"repro/internal/faultinject"
 )
 
 func TestFacadeAssembleAndRun(t *testing.T) {
@@ -110,5 +113,47 @@ func TestFacadeConfigHelpers(t *testing.T) {
 	}
 	if DefaultConfig().Decoupled() {
 		t.Error("default (2+0) claims decoupled")
+	}
+}
+
+// TestFacadeSimErrorOnInvariantViolation drives a memory-subsystem
+// head-only-commit violation (via a seeded commit-desync fault) through the
+// public facade and checks it surfaces as a typed *SimError carrying the
+// failure cycle and per-stream pipeline state, not as a process panic.
+func TestFacadeSimErrorOnInvariantViolation(t *testing.T) {
+	w, err := WorkloadByName("vortex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig().WithPorts(2, 2)
+	inj := faultinject.New(3, faultinject.Params{
+		Faults:      faultinject.CommitDesync,
+		DesyncAfter: 25,
+	})
+	_, err = RunProgramWith(context.Background(), w.Program(0.02), cfg,
+		RunOptions{Injector: inj})
+	if err == nil {
+		t.Fatal("corrupted commit bookkeeping went undetected")
+	}
+	se, ok := AsSimError(err)
+	if !ok {
+		t.Fatalf("error %T is not a *SimError: %v", err, err)
+	}
+	if se.Kind != SimPanic {
+		t.Fatalf("kind = %s, want %s", se.Kind, SimPanic)
+	}
+	if !strings.Contains(se.Reason, "memsys") {
+		t.Errorf("reason %q does not name the violated memsys invariant", se.Reason)
+	}
+	if se.Snapshot.Cycle == 0 {
+		t.Error("snapshot does not record the failure cycle")
+	}
+	if len(se.Snapshot.Streams) != 2 {
+		t.Fatalf("snapshot has %d streams, want one per memory stream (2)", len(se.Snapshot.Streams))
+	}
+	for _, s := range se.Snapshot.Streams {
+		if s.Name == "" {
+			t.Error("snapshot stream has no name")
+		}
 	}
 }
