@@ -6,6 +6,8 @@
 //	ddasm -d program.s             # assemble and disassemble
 //	ddasm -run program.s           # assemble and emulate, print OUT trace
 //	ddasm -lint program.s          # run the static access-region linter
+//	ddasm -assign program.s        # print the hint-assignment table
+//	ddasm -assign -json program.s  # ... as the serializable HintTable artifact
 //	ddasm -dump-workload li        # print a generated workload's source
 package main
 
@@ -25,6 +27,8 @@ func main() {
 		dis     = flag.Bool("d", false, "print disassembly")
 		run     = flag.Bool("run", false, "run on the functional emulator")
 		lint    = flag.Bool("lint", false, "run the static access-region linter")
+		assign  = flag.Bool("assign", false, "run the hint-assignment pass and print the table")
+		asJSON  = flag.Bool("json", false, "with -assign: emit the serializable HintTable artifact")
 		maxInst = flag.Uint64("maxinst", 100_000_000, "emulation instruction budget")
 		dumpW   = flag.String("dump-workload", "", "print a workload's generated assembly and exit")
 		scale   = flag.Float64("scale", 0.1, "scale for -dump-workload")
@@ -52,9 +56,24 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("assembled %s: %d instructions, %d data bytes, entry %#x\n",
-		path, len(prog.Text), len(prog.Data), prog.Entry)
+	if !(*assign && *asJSON) {
+		fmt.Printf("assembled %s: %d instructions, %d data bytes, entry %#x\n",
+			path, len(prog.Text), len(prog.Data), prog.Entry)
+	}
 
+	if *assign {
+		res := analysis.Assign(prog)
+		if *asJSON {
+			if err := res.Table.EncodeJSON(os.Stdout); err != nil {
+				fatal(err)
+			}
+		} else {
+			fmt.Print(res.Report())
+			fmt.Println(res.Table.Summarize())
+			fmt.Printf("forwarding pairs: %d, combining groups: %d\n",
+				len(res.Table.Pairs), len(res.Table.Groups))
+		}
+	}
 	if *dis {
 		fmt.Print(prog.Disassemble())
 	}

@@ -6,6 +6,7 @@
 //	ddbench -exp fig7 -scale 0.5
 //	ddbench -exp all -scale 1.0 -v
 //	ddbench -exp all -scale 0.1 -timeout 10m -maxcycles 50000000
+//	ddbench -json -scale 0.1 > BENCH.json   # simulator-performance snapshot
 //
 // -timeout bounds the whole invocation in wall-clock time and -maxcycles
 // bounds each individual simulation; either abort exits non-zero with the
@@ -29,6 +30,7 @@ func main() {
 		exp   = flag.String("exp", "all", "experiment id or 'all'")
 		scale = flag.Float64("scale", 1.0, "workload scale factor")
 		list  = flag.Bool("list", false, "list experiments and exit")
+		bench = flag.Bool("json", false, "benchmark simulator throughput per workload and emit the ddbench/v1 JSON report")
 		verb  = flag.Bool("v", false, "print per-simulation progress")
 
 		maxCycles = flag.Uint64("maxcycles", 0, "abort any single simulation after this many cycles (0 = unbounded)")
@@ -39,6 +41,19 @@ func main() {
 	if *list {
 		for _, e := range experiments.AllExperiments() {
 			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	if *bench {
+		rep, err := experiments.Bench(*scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ddbench:", err)
+			os.Exit(1)
+		}
+		if err := rep.EncodeJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "ddbench:", err)
+			os.Exit(1)
 		}
 		return
 	}

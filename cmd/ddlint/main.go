@@ -13,6 +13,16 @@
 //	ddlint -json program.s         # machine-readable findings
 //	ddlint -dump program.s         # also print per-access classification
 //	ddlint -dep program.s          # also run the dependence analysis
+//	ddlint -assign program.s       # run hint assignment + the emulated
+//	                               # oracle cross-check of every assignment
+//	ddlint -assign -strip -w li    # ... after stripping generator hints
+//
+// With -assign, the region/dependence passes are replaced by the
+// assignment misclassification lint: every provably-local/non-local
+// assignment the emulated oracle contradicts is an error, every
+// speculate-local assignment that dynamically went non-local and every
+// missed always-local access is informational, each carrying the
+// analyzer's reason chain.
 //
 // Exit status: 0 when no warning- or error-severity findings, 1 when any
 // is reported (informational dependence findings never fail the run),
@@ -42,6 +52,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut  = fs.Bool("json", false, "emit findings as JSON")
 		dump     = fs.Bool("dump", false, "print the per-access classification table")
 		dep      = fs.Bool("dep", false, "run the interprocedural dependence analysis too")
+		assign   = fs.Bool("assign", false, "run hint assignment and cross-check it against the emulated oracle")
+		strip    = fs.Bool("strip", false, "strip existing hints before analysis (re-hint from scratch)")
+		steps    = fs.Uint64("steps", 0, "oracle replay budget for -assign (0 = default)")
 		wName    = fs.String("w", "", "lint the named generated workload instead of files")
 		allW     = fs.Bool("workloads", false, "lint every generated workload")
 		scale    = fs.Float64("scale", 0.1, "scale for generated workloads")
@@ -83,6 +96,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 	failures := 0
 	var jsonDiags []any
 	for _, prog := range progs {
+		if *strip {
+			prog = prog.StripHints()
+		}
+		if *assign {
+			res := analysis.Assign(prog)
+			diags, vst := res.Verify(*steps)
+			if *warnOnly {
+				kept := diags[:0]
+				for _, d := range diags {
+					if d.Sev >= analysis.SevError {
+						kept = append(kept, d)
+					}
+				}
+				diags = kept
+			}
+			for _, d := range diags {
+				if d.Sev >= analysis.SevWarning {
+					failures++
+				}
+				if *jsonOut {
+					jsonDiags = append(jsonDiags, struct {
+						Program string `json:"program"`
+						Diag    any    `json:"finding"`
+					}{prog.Name, d.JSONForm()})
+				} else {
+					fmt.Fprintf(stdout, "%s:%s\n", prog.Name, d)
+				}
+			}
+			if !*jsonOut {
+				fmt.Fprintf(stdout, "%s: %s\n", prog.Name, res.Table.Summarize())
+				fmt.Fprintf(stdout, "%s: oracle: %d steps (halted=%v), %d entries executed, %d unsound, %d misspeculated, %d missed-local\n",
+					prog.Name, vst.Steps, vst.Halted, vst.Executed, vst.Unsound, vst.Misspec, vst.MissedLocal)
+				if *dump {
+					fmt.Fprint(stdout, res.Report())
+				}
+			}
+			continue
+		}
 		res := analysis.Analyze(prog)
 		diags := res.Diags
 		if *warnOnly {

@@ -36,12 +36,39 @@ func TestJSONGolden(t *testing.T) {
 	}
 }
 
+// TestAssignJSONGolden pins the -assign -json wire format (the same
+// finding schema, produced by the assignment oracle cross-check) against
+// its own golden file.
+func TestAssignJSONGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-assign", "-json", "testdata/spec.s"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0 (assign findings are informational); stderr: %s", code, stderr.String())
+	}
+	const golden = "testdata/spec_assign.json"
+	if *update {
+		if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Errorf("JSON output drifted from golden file (run with -update if intended)\ngot:\n%s\nwant:\n%s",
+			stdout.String(), want)
+	}
+}
+
 // TestJSONSchema decodes the golden output and checks every finding
-// carries the stable fields, that both analysis passes are represented,
-// and that each pass name matches its finding kinds.
+// carries the stable fields, that all three analysis passes are
+// represented, and that each pass name matches its finding kinds.
 func TestJSONSchema(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	run([]string{"-dep", "-json", "testdata/badhint.s"}, &stdout, &stderr)
+	var assignOut bytes.Buffer
+	run([]string{"-assign", "-json", "testdata/spec.s"}, &assignOut, &stderr)
 	var rows []struct {
 		Program string `json:"program"`
 		Finding struct {
@@ -57,8 +84,13 @@ func TestJSONSchema(t *testing.T) {
 	if err := json.Unmarshal(stdout.Bytes(), &rows); err != nil {
 		t.Fatalf("output is not the expected JSON shape: %v\n%s", err, stdout.String())
 	}
+	extra := rows[:0:0]
+	if err := json.Unmarshal(assignOut.Bytes(), &extra); err != nil {
+		t.Fatalf("-assign output is not the expected JSON shape: %v\n%s", err, assignOut.String())
+	}
+	rows = append(rows, extra...)
 	if len(rows) == 0 {
-		t.Fatal("fixture produced no findings")
+		t.Fatal("fixtures produced no findings")
 	}
 	passes := map[string]bool{}
 	for _, r := range rows {
@@ -75,9 +107,15 @@ func TestJSONSchema(t *testing.T) {
 		if depKind != (f.Pass == "depend") {
 			t.Errorf("kind %q attributed to pass %q", f.Kind, f.Pass)
 		}
+		assignKind := strings.HasPrefix(f.Kind, "assign-")
+		if assignKind != (f.Pass == "assign") {
+			t.Errorf("kind %q attributed to pass %q", f.Kind, f.Pass)
+		}
 	}
-	if !passes["region"] || !passes["depend"] {
-		t.Errorf("expected findings from both passes, got %v", passes)
+	for _, p := range []string{"region", "depend", "assign"} {
+		if !passes[p] {
+			t.Errorf("expected findings from pass %q, got %v", p, passes)
+		}
 	}
 }
 

@@ -1,0 +1,39 @@
+# Fixture for the assign-pass lint schema: one path-dependent slot whose
+# speculate-local assignment is wrong every fourth iteration (the i%4==0
+# path points above main's entry $sp, the top of the stack region), one
+# access through a reloaded pointer the analysis must leave dynamic even
+# though it always lands in the frame, and a pair of provably non-local
+# global accesses the oracle confirms.
+	.text
+	.global main
+main:
+	addi $sp, $sp, -16
+	li   $s0, 0
+	li   $s1, 8
+	li   $v0, 0
+	la   $s2, cell
+	sw   $sp, 0($s2)
+loop:
+	andi $t0, $s0, 3
+	bnez $t0, below
+	addi $t1, $sp, 24
+	j    join
+below:
+	addi $t1, $sp, 0
+join:
+	sw   $s0, 0($t1)
+	lw   $t2, 0($t1)
+	lw   $t3, 0($s2)
+	lw   $t4, 0($t3)
+	add  $v0, $v0, $t2
+	add  $v0, $v0, $t4
+	addi $s0, $s0, 1
+	slt  $t0, $s0, $s1
+	bnez $t0, loop
+	addi $sp, $sp, 16
+	out  $v0
+	halt
+
+	.data
+cell:
+	.word 0

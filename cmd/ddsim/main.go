@@ -38,7 +38,8 @@ func main() {
 		opt     = flag.Bool("opt", false, "enable fast data forwarding and 2-way combining")
 		static  = flag.Bool("staticopt", false, "restrict the optimizations to statically-proven pairs/groups (implies -opt)")
 		combine = flag.Int("combine", 0, "access combining width (overrides -opt's 2)")
-		steer   = flag.String("steer", "hint", "steering policy: hint, sp, oracle, dual, static")
+		steer   = flag.String("steer", "hint", "steering policy: hint, sp, oracle, dual, static, spec")
+		strip   = flag.Bool("strip", false, "strip compiler hints from the program before simulating")
 		maxInst = flag.Uint64("maxinst", 0, "commit budget (0 = run to halt)")
 		list    = flag.Bool("list", false, "list available workloads and exit")
 		traceN  = flag.Int("trace", 0, "print a pipeline trace of the first N instructions")
@@ -82,6 +83,8 @@ func main() {
 		cfg.Steering = config.SteerDual
 	case "static":
 		cfg.Steering = config.SteerStatic
+	case "spec":
+		cfg.Steering = config.SteerSpec
 	default:
 		fatal(fmt.Errorf("unknown steering policy %q", *steer))
 	}
@@ -106,6 +109,9 @@ func main() {
 		prog = w.Program(*scale)
 	default:
 		fatal(fmt.Errorf("need -w <workload> or -f <file>; see -list"))
+	}
+	if *strip {
+		prog = prog.StripHints()
 	}
 
 	c, err := core.New(prog, cfg)

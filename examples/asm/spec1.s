@@ -1,0 +1,46 @@
+# spec1 — path-dependent frame slots the dataflow cannot pin down.
+#
+# Each loop iteration picks one of two spill slots through a branch, so
+# the slot pointer joins to a stack-derived value with a *path-dependent*
+# offset: the analyzer can neither prove the access local (no exact
+# offset) nor non-local (the base is still $sp-derived). `ddasm -assign`
+# classifies all four accesses speculate-local. Every execution stays
+# inside the frame, so SteerSpec steers them to the local stream with
+# zero misroutes, while hint-only steering must burn one misroute per PC
+# teaching the region predictor. Used by the ablation-assign experiment.
+	.text
+	.global main
+main:
+	addi $sp, $sp, -32
+	li   $s0, 0          # i
+	li   $s1, 48         # iterations
+	li   $v0, 0
+loop:
+	andi $t0, $s0, 1
+	bnez $t0, odd1
+	addi $t1, $sp, 0
+	j    join1
+odd1:
+	addi $t1, $sp, 8
+join1:
+	sw   $s0, 0($t1)
+	lw   $t2, 0($t1)
+	add  $v0, $v0, $t2
+
+	andi $t0, $s0, 2
+	bnez $t0, odd2
+	addi $t1, $sp, 16
+	j    join2
+odd2:
+	addi $t1, $sp, 24
+join2:
+	sw   $v0, 0($t1)
+	lw   $t3, 0($t1)
+	add  $v0, $v0, $t3
+
+	addi $s0, $s0, 1
+	slt  $t0, $s0, $s1
+	bnez $t0, loop
+	addi $sp, $sp, 32
+	out  $v0
+	halt

@@ -1,0 +1,35 @@
+# spec2 — a speculate-local assignment that is sometimes wrong.
+#
+# The slot pointer is again path-dependent (so the analyzer assigns
+# speculate-local), but every eighth iteration it points *above* main's
+# entry $sp — and main's entry $sp is the top of the stack region, so
+# those accesses are dynamically non-local. Under SteerSpec the access
+# is steered local on faith and the 1-in-8 misses pay the ordinary
+# misroute squash-and-replay recovery (counted as SpecMisroutes); the
+# architectural output never changes. The hint-only fallback predictor
+# does worse: the local/non-local flip at each period boundary costs two
+# misroutes per eight iterations. Used by the ablation-assign experiment
+# and the speculation soak.
+	.text
+	.global main
+main:
+	li   $s0, 0          # i
+	li   $s1, 64         # iterations
+	li   $v0, 0
+loop:
+	andi $t0, $s0, 7
+	bnez $t0, below
+	addi $t1, $sp, 16    # i%8 == 0: above entry $sp -> outside the stack region
+	j    join
+below:
+	addi $t1, $sp, -16   # otherwise: an ordinary (red-zone) frame slot
+join:
+	sw   $s0, 0($t1)
+	lw   $t2, 0($t1)
+	add  $v0, $v0, $t2
+
+	addi $s0, $s0, 1
+	slt  $t0, $s0, $s1
+	bnez $t0, loop
+	out  $v0
+	halt

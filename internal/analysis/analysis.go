@@ -73,6 +73,13 @@ func (c Class) Hint() isa.Hint {
 type ClassInfo struct {
 	Class  Class
 	Reason string
+	// Spec marks an Ambiguous access the dataflow still recommends
+	// speculating local on: the base is stack-derived (so the address is
+	// almost always inside the stack region at run time) but the frame
+	// offset is path-dependent or not provably below the entry $sp. The
+	// hint-assignment pass (Assign) turns this into ConfSpecLocal;
+	// misroute recovery absorbs the rare miss.
+	Spec bool
 }
 
 // Analysis is the result of analyzing one program.
@@ -130,7 +137,7 @@ func Analyze(prog *asm.Program) *Analysis {
 	}
 	for i, in := range prog.Text {
 		if in.IsMem() && !a.reached[i] {
-			res.Classes[i] = ClassInfo{ClassAmbiguous, "unreachable from any discovered entry"}
+			res.Classes[i] = ClassInfo{Class: ClassAmbiguous, Reason: "unreachable from any discovered entry"}
 		}
 	}
 	sort.SliceStable(res.Diags, func(i, j int) bool {
@@ -367,8 +374,8 @@ func (a *analyzer) analyzeFunc(entry int) {
 			if in.IsMem() {
 				a.reached[i] = true
 				base := st.get(in.BaseReg())
-				cls, reason := classify(base, in.Imm, int64(in.MemBytes()))
-				a.record(i, cls, reason)
+				cls, reason, spec := classify(base, in.Imm, int64(in.MemBytes()))
+				a.record(i, cls, reason, spec)
 				a.lintMem(fn, pc, in, cls, base, &st)
 			}
 			if in.IsReturn() {
@@ -404,59 +411,81 @@ func merge(dst *blockState, src regState) bool {
 }
 
 // classify decides the access region of one memory instruction from the
-// abstract value of its base register.
-func classify(base absVal, imm int32, width int64) (Class, string) {
+// abstract value of its base register. The third result is the
+// speculation recommendation for Ambiguous accesses: true when the base
+// is stack-derived, so steering the access to the local stream is right
+// whenever the (unprovable) offset stays inside the stack region.
+func classify(base absVal, imm int32, width int64) (Class, string, bool) {
 	switch base.k {
 	case kStack:
 		if !base.deltaOK {
-			return ClassAmbiguous, "base is stack-derived but its frame offset is path-dependent"
+			return ClassAmbiguous, "base is stack-derived but its frame offset is path-dependent", true
 		}
 		eff := int64(base.delta) + int64(imm)
 		if eff < 0 {
-			return ClassLocal, fmt.Sprintf("base %s, displacement %+d → frame slot %d below the entry $sp", base, imm, eff)
+			return ClassLocal, fmt.Sprintf("base %s, displacement %+d → frame slot %d below the entry $sp", base, imm, eff), false
 		}
-		return ClassAmbiguous, fmt.Sprintf("base %s, displacement %+d lands at/above the entry $sp", base, imm)
+		return ClassAmbiguous, fmt.Sprintf("base %s, displacement %+d lands at/above the entry $sp", base, imm), true
 	case kRange:
 		lo, hi := base.lo+int64(imm), base.hi+int64(imm)
 		if lo < -1<<31 || hi+width-1 > 1<<31-1 {
-			return ClassAmbiguous, fmt.Sprintf("base %s: address arithmetic may wrap", base)
+			return ClassAmbiguous, fmt.Sprintf("base %s: address arithmetic may wrap", base), false
 		}
 		hi += width - 1
 		sLo, sHi := int64(isa.StackLimit), int64(isa.StackBase)-1
 		switch {
 		case hi < sLo || lo > sHi:
-			return ClassNonLocal, fmt.Sprintf("base %s, address range misses the stack region", base)
+			return ClassNonLocal, fmt.Sprintf("base %s, address range misses the stack region", base), false
 		case lo >= sLo && hi <= sHi:
-			return ClassLocal, fmt.Sprintf("base %s, address range inside the stack region", base)
+			return ClassLocal, fmt.Sprintf("base %s, address range inside the stack region", base), false
 		default:
-			return ClassAmbiguous, fmt.Sprintf("base %s, address range straddles the stack boundary", base)
+			return ClassAmbiguous, fmt.Sprintf("base %s, address range straddles the stack boundary", base), false
 		}
 	default:
 		what := "base value is unknown"
 		if base.def != 0 {
 			what = fmt.Sprintf("base value is unknown (defined at %08x)", base.def)
 		}
-		return ClassAmbiguous, what
+		return ClassAmbiguous, what, false
 	}
+}
+
+// leansLocal reports whether a recorded classification is compatible with
+// steering the access to the local stream: provably local, or ambiguous
+// with a speculate-local recommendation.
+func leansLocal(ci ClassInfo) bool {
+	return ci.Class == ClassLocal || (ci.Class == ClassAmbiguous && ci.Spec)
 }
 
 // record joins a classification into the per-instruction table; the same
 // instruction analyzed under several functions (shared code) must agree,
-// otherwise it degrades to Ambiguous.
-func (a *analyzer) record(idx int, cls Class, reason string) {
+// otherwise it degrades to Ambiguous. The speculation recommendation
+// survives a conflict only when every view of the instruction leans local.
+func (a *analyzer) record(idx int, cls Class, reason string, spec bool) {
 	if !a.reached[idx] {
-		a.classes[idx] = ClassInfo{cls, reason}
+		a.classes[idx] = ClassInfo{Class: cls, Reason: reason, Spec: spec}
 		return
 	}
 	// reached[idx] is set just before record is called on the first
 	// visit too, so use the stored reason to detect a real prior visit.
 	prev := a.classes[idx]
 	if prev.Reason == "" {
-		a.classes[idx] = ClassInfo{cls, reason}
+		a.classes[idx] = ClassInfo{Class: cls, Reason: reason, Spec: spec}
 		return
 	}
-	if prev.Class != cls {
-		a.classes[idx] = ClassInfo{ClassAmbiguous, "conflicting classifications across functions"}
+	next := ClassInfo{Class: cls, Reason: reason, Spec: spec}
+	switch {
+	case prev.Class != cls:
+		a.classes[idx] = ClassInfo{
+			Class:  ClassAmbiguous,
+			Reason: "conflicting classifications across functions",
+			Spec:   leansLocal(prev) && leansLocal(next),
+		}
+	case cls == ClassAmbiguous && prev.Spec != spec:
+		// Same class, disagreeing recommendations: only speculate when
+		// every analyzed context recommends it.
+		prev.Spec = false
+		a.classes[idx] = prev
 	}
 }
 

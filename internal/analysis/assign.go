@@ -1,0 +1,471 @@
+// Hint assignment: the compiler half of the paper's decoupling contract.
+//
+// The access-region dataflow (analysis.go) and the interprocedural
+// dependence pass (depend.go) only *check* or *replace* hints the workload
+// generator happens to emit. Assign closes the loop for arbitrary input
+// assembly: it consumes the converged classification and produces, for
+// every memory instruction, an explicit steering decision with a
+// confidence class —
+//
+//   - ConfProvenLocal / ConfProvenNonLocal: the dataflow proof stands on
+//     its own; the assigned hint bit is sound and SteerHint/SteerSpec may
+//     trust it unconditionally;
+//   - ConfSpecLocal: unprovable, but the base address is stack-derived, so
+//     the access lands in the stack region unless the frame walks out of
+//     it. SteerSpec steers these to the local stream and lets the
+//     existing misroute-recovery machinery absorb the rare miss (the
+//     compile-time/speculation split of "Compiler Support for Speculation
+//     in Decoupled Access/Execute Architectures", arXiv 2501.13553);
+//   - ConfDynamic: nothing useful is known; the hardware's 1-bit region
+//     predictor keeps the job.
+//
+// The result is packaged as a serializable HintTable artifact (the
+// per-PC hints plus the statically-proven forwarding pairs and combining
+// groups), surfaced by `ddasm -assign` and `ddlint -assign -json`, and
+// cross-checked against the emulated oracle by Verify, which reports every
+// misclassification with the analyzer's reason chain.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/asm"
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+// ConfClass is the confidence class of one assigned hint.
+type ConfClass uint8
+
+const (
+	// ConfDynamic: no static knowledge; leave the access to the
+	// hardware's dynamic steering.
+	ConfDynamic ConfClass = iota
+	// ConfProvenLocal: the dataflow proves the access is a stack access.
+	ConfProvenLocal
+	// ConfProvenNonLocal: the dataflow proves the address range misses
+	// the stack region.
+	ConfProvenNonLocal
+	// ConfSpecLocal: unprovable, but the base is stack-derived — steer
+	// local speculatively and rely on misroute recovery.
+	ConfSpecLocal
+)
+
+var confNames = [...]string{
+	"leave-dynamic",
+	"provably-local",
+	"provably-nonlocal",
+	"speculate-local",
+}
+
+func (c ConfClass) String() string {
+	if int(c) < len(confNames) {
+		return confNames[c]
+	}
+	return fmt.Sprintf("conf%d", uint8(c))
+}
+
+// ParseConfClass inverts String (used by the HintTable decoder).
+func ParseConfClass(s string) (ConfClass, error) {
+	for i, n := range confNames {
+		if n == s {
+			return ConfClass(i), nil
+		}
+	}
+	return 0, fmt.Errorf("analysis: unknown confidence class %q", s)
+}
+
+// Hint is the ISA hint encoding the class justifies on its own: only the
+// proven classes map to a hint bit; speculate-local is a steering-policy
+// decision, not a soundness claim, and stays HintNone.
+func (c ConfClass) Hint() isa.Hint {
+	switch c {
+	case ConfProvenLocal:
+		return isa.HintLocal
+	case ConfProvenNonLocal:
+		return isa.HintNonLocal
+	default:
+		return isa.HintNone
+	}
+}
+
+// Assigned is the assignment for one memory instruction.
+type Assigned struct {
+	PC     uint32
+	Inst   string // disassembly, for the artifact
+	Conf   ConfClass
+	Reason string // the analyzer's reason chain
+}
+
+// HintTable is the serializable artifact of one Assign run: the complete
+// per-PC steering decision plus the statically-proven forwarding pairs
+// and combining groups of the dependence pass. It is what a compiler
+// would hand the hardware alongside the binary.
+type HintTable struct {
+	Program   string
+	LineBytes int
+	Entries   []Assigned // one per memory instruction, sorted by PC
+	Pairs     []FwdPair
+	Groups    []CombineGroup
+}
+
+// At returns the assignment for the memory instruction at pc.
+func (t *HintTable) At(pc uint32) (Assigned, bool) {
+	i := sort.Search(len(t.Entries), func(i int) bool { return t.Entries[i].PC >= pc })
+	if i < len(t.Entries) && t.Entries[i].PC == pc {
+		return t.Entries[i], true
+	}
+	return Assigned{}, false
+}
+
+// AssignSummary tallies a table by confidence class.
+type AssignSummary struct {
+	Mem, ProvenLocal, ProvenNonLocal, SpecLocal, Dynamic int
+}
+
+// Summarize counts the entries per confidence class.
+func (t *HintTable) Summarize() AssignSummary {
+	var s AssignSummary
+	for _, e := range t.Entries {
+		s.Mem++
+		switch e.Conf {
+		case ConfProvenLocal:
+			s.ProvenLocal++
+		case ConfProvenNonLocal:
+			s.ProvenNonLocal++
+		case ConfSpecLocal:
+			s.SpecLocal++
+		default:
+			s.Dynamic++
+		}
+	}
+	return s
+}
+
+func (s AssignSummary) String() string {
+	return fmt.Sprintf("%d memory instructions: %d provably-local, %d provably-nonlocal, %d speculate-local, %d leave-dynamic",
+		s.Mem, s.ProvenLocal, s.ProvenNonLocal, s.SpecLocal, s.Dynamic)
+}
+
+// ---------------------------------------------------------- wire format
+
+// The JSON wire format is versioned and field-stable: consumers (CI
+// artifacts, the lint schema test) rely on these exact names.
+
+type hintTableJSON struct {
+	Schema    string         `json:"schema"`
+	Program   string         `json:"program"`
+	LineBytes int            `json:"line_bytes"`
+	Entries   []assignedJSON `json:"entries"`
+	Forward   []fwdPairJSON  `json:"forward_pairs"`
+	Combine   []combineJSON  `json:"combine_groups"`
+}
+
+type assignedJSON struct {
+	PC     string `json:"pc"`
+	Inst   string `json:"inst"`
+	Conf   string `json:"conf"`
+	Hint   string `json:"hint"`
+	Reason string `json:"reason"`
+}
+
+type fwdPairJSON struct {
+	StorePC string `json:"store_pc"`
+	LoadPC  string `json:"load_pc"`
+	Slot    int64  `json:"slot"`
+	Bytes   int64  `json:"bytes"`
+	Fn      string `json:"fn"`
+}
+
+type combineJSON struct {
+	PCs    []string `json:"pcs"`
+	IsLoad bool     `json:"loads"`
+	Fn     string   `json:"fn"`
+}
+
+// HintTableSchema is the wire-format version tag EncodeJSON emits and
+// DecodeHintTable requires.
+const HintTableSchema = "hinttable/v1"
+
+func hexPC(pc uint32) string { return fmt.Sprintf("%#08x", pc) }
+
+func parsePC(s string) (uint32, error) {
+	v, err := strconv.ParseUint(s, 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("analysis: bad pc %q", s)
+	}
+	return uint32(v), nil
+}
+
+// EncodeJSON writes the table in its stable wire form.
+func (t *HintTable) EncodeJSON(w io.Writer) error {
+	out := hintTableJSON{
+		Schema:    HintTableSchema,
+		Program:   t.Program,
+		LineBytes: t.LineBytes,
+		Entries:   []assignedJSON{},
+		Forward:   []fwdPairJSON{},
+		Combine:   []combineJSON{},
+	}
+	for _, e := range t.Entries {
+		out.Entries = append(out.Entries, assignedJSON{
+			PC: hexPC(e.PC), Inst: e.Inst, Conf: e.Conf.String(),
+			Hint: e.Conf.Hint().String(), Reason: e.Reason,
+		})
+	}
+	for _, p := range t.Pairs {
+		out.Forward = append(out.Forward, fwdPairJSON{
+			StorePC: hexPC(p.StorePC), LoadPC: hexPC(p.LoadPC),
+			Slot: p.Slot, Bytes: p.Bytes, Fn: p.Fn,
+		})
+	}
+	for _, g := range t.Groups {
+		gj := combineJSON{IsLoad: g.IsLoad, Fn: g.Fn, PCs: []string{}}
+		for _, pc := range g.PCs {
+			gj.PCs = append(gj.PCs, hexPC(pc))
+		}
+		out.Combine = append(out.Combine, gj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// DecodeHintTable reads a table back from its wire form.
+func DecodeHintTable(r io.Reader) (*HintTable, error) {
+	var in hintTableJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("analysis: decoding hint table: %w", err)
+	}
+	if in.Schema != HintTableSchema {
+		return nil, fmt.Errorf("analysis: hint table schema %q, want %q", in.Schema, HintTableSchema)
+	}
+	t := &HintTable{Program: in.Program, LineBytes: in.LineBytes}
+	for _, e := range in.Entries {
+		pc, err := parsePC(e.PC)
+		if err != nil {
+			return nil, err
+		}
+		conf, err := ParseConfClass(e.Conf)
+		if err != nil {
+			return nil, err
+		}
+		t.Entries = append(t.Entries, Assigned{PC: pc, Inst: e.Inst, Conf: conf, Reason: e.Reason})
+	}
+	for _, p := range in.Forward {
+		spc, err := parsePC(p.StorePC)
+		if err != nil {
+			return nil, err
+		}
+		lpc, err := parsePC(p.LoadPC)
+		if err != nil {
+			return nil, err
+		}
+		t.Pairs = append(t.Pairs, FwdPair{StorePC: spc, LoadPC: lpc, Slot: p.Slot, Bytes: p.Bytes, Fn: p.Fn})
+	}
+	for _, g := range in.Combine {
+		cg := CombineGroup{IsLoad: g.IsLoad, Fn: g.Fn}
+		for _, s := range g.PCs {
+			pc, err := parsePC(s)
+			if err != nil {
+				return nil, err
+			}
+			cg.PCs = append(cg.PCs, pc)
+		}
+		t.Groups = append(t.Groups, cg)
+	}
+	return t, nil
+}
+
+// ------------------------------------------------------------- assigning
+
+// AssignResult bundles the assignment with the analyses it was derived
+// from (for reports and lint).
+type AssignResult struct {
+	Prog  *asm.Program
+	An    *Analysis
+	Dep   *DepResult
+	Table *HintTable
+}
+
+// Assign runs the full compiler-side pipeline on prog — access-region
+// dataflow, interprocedural dependence analysis, hint assignment — and
+// returns the assignment. Any hint bits already present in prog are
+// ignored: the assignment is derived from the analyses alone, so
+// hand-written, fuzzed and hint-stripped programs are all first-class
+// inputs.
+func Assign(prog *asm.Program) *AssignResult {
+	an := Analyze(prog)
+	dep := Dependences(prog, 0)
+	t := &HintTable{
+		Program:   prog.Name,
+		LineBytes: dep.LineBytes,
+		Pairs:     dep.Pairs,
+		Groups:    dep.Groups,
+	}
+	for i, in := range prog.Text {
+		if !in.IsMem() {
+			continue
+		}
+		ci := an.Classes[i]
+		conf := ConfDynamic
+		switch {
+		case ci.Class == ClassLocal:
+			conf = ConfProvenLocal
+		case ci.Class == ClassNonLocal:
+			conf = ConfProvenNonLocal
+		case ci.Spec:
+			conf = ConfSpecLocal
+		}
+		t.Entries = append(t.Entries, Assigned{
+			PC:     prog.TextBase + uint32(i)*isa.InstBytes,
+			Inst:   in.String(),
+			Conf:   conf,
+			Reason: ci.Reason,
+		})
+	}
+	return &AssignResult{Prog: prog, An: an, Dep: dep, Table: t}
+}
+
+// Apply returns a copy of the program re-hinted from scratch: every memory
+// instruction carries exactly the assigned hint bit (proven classes only —
+// speculate-local is not a sound hint), and any pre-existing hints are
+// discarded. The result is what "compile with hint assignment" produces,
+// consumable by the unmodified SteerHint hardware policy.
+func (r *AssignResult) Apply() *asm.Program {
+	hints := make(map[uint32]isa.Hint)
+	for _, e := range r.Table.Entries {
+		if h := e.Conf.Hint(); h != isa.HintNone {
+			hints[e.PC] = h
+		}
+	}
+	return r.Prog.WithHints(hints)
+}
+
+// SteerTable returns the per-PC confidence classes consumed by the
+// SteerSpec policy of the timing core; leave-dynamic entries are omitted
+// (absent keys fall back to the region predictor).
+func (r *AssignResult) SteerTable() map[uint32]ConfClass {
+	t := make(map[uint32]ConfClass)
+	for _, e := range r.Table.Entries {
+		if e.Conf != ConfDynamic {
+			t[e.PC] = e.Conf
+		}
+	}
+	return t
+}
+
+// Report renders the assignment table for ddasm/ddlint -dump style output.
+func (r *AssignResult) Report() string {
+	out := make([]byte, 0, 64*len(r.Table.Entries))
+	for _, e := range r.Table.Entries {
+		out = append(out, fmt.Sprintf("%08x: %-17s %-28s %s\n", e.PC, e.Conf, e.Inst, e.Reason)...)
+	}
+	return string(out)
+}
+
+// ---------------------------------------------------------- verification
+
+// DefaultVerifySteps bounds the oracle replay when the caller passes 0.
+const DefaultVerifySteps = 2_000_000
+
+// VerifyStats summarizes one oracle cross-check.
+type VerifyStats struct {
+	Steps    uint64 // emulated instructions
+	Halted   bool   // the program ran to completion within the budget
+	Executed int    // table entries that executed at least once
+	// Per-severity misclassification counts (static, per PC).
+	Unsound     int // proven class contradicted — analyzer soundness bug
+	Misspec     int // speculate-local PCs with >=1 non-local execution
+	MissedLocal int // leave-dynamic PCs that were local on every execution
+	// Dynamic speculation accounting (per access instance).
+	SpecAccesses uint64 // executions of speculate-local PCs
+	SpecWrong    uint64 // of those, how many touched non-stack memory
+}
+
+// Verify replays the program on the functional emulator (the oracle) and
+// cross-checks every assigned hint against the regions actually accessed,
+// reporting each misclassification with the analyzer's reason chain:
+// a contradicted proven class is an error (the soundness gate), a
+// speculate-local entry that ever went non-local is informational (it
+// costs recovery cycles under SteerSpec, never correctness), and a
+// leave-dynamic entry that stayed local throughout is a missed
+// opportunity. maxSteps bounds the replay (0 = DefaultVerifySteps).
+func (r *AssignResult) Verify(maxSteps uint64) ([]Diag, VerifyStats) {
+	if maxSteps == 0 {
+		maxSteps = DefaultVerifySteps
+	}
+	prog := r.Prog
+	nLocal := make(map[uint32]uint64, len(r.Table.Entries))
+	nNonLocal := make(map[uint32]uint64, len(r.Table.Entries))
+	m := emu.New(prog)
+	var st VerifyStats
+	for !m.Halted && st.Steps < maxSteps {
+		ef, err := m.Step()
+		if err != nil {
+			break // a trapped program still yields a partial oracle
+		}
+		st.Steps++
+		if !ef.Inst.IsMem() {
+			continue
+		}
+		if isa.InStackRegion(ef.Addr) {
+			nLocal[ef.PC]++
+		} else {
+			nNonLocal[ef.PC]++
+		}
+	}
+	st.Halted = m.Halted
+
+	var diags []Diag
+	for _, e := range r.Table.Entries {
+		loc, non := nLocal[e.PC], nNonLocal[e.PC]
+		if loc == 0 && non == 0 {
+			continue // never executed under this input
+		}
+		st.Executed++
+		switch e.Conf {
+		case ConfProvenLocal:
+			if non > 0 {
+				st.Unsound++
+				diags = append(diags, Diag{DiagAssignUnsound, SevError, e.PC, "", e.Inst,
+					fmt.Sprintf("assigned !local but %d/%d executions accessed non-stack memory; analyzer: %s",
+						non, loc+non, e.Reason)})
+			}
+		case ConfProvenNonLocal:
+			if loc > 0 {
+				st.Unsound++
+				diags = append(diags, Diag{DiagAssignUnsound, SevError, e.PC, "", e.Inst,
+					fmt.Sprintf("assigned !nonlocal but %d/%d executions accessed the stack region; analyzer: %s",
+						loc, loc+non, e.Reason)})
+			}
+		case ConfSpecLocal:
+			st.SpecAccesses += loc + non
+			st.SpecWrong += non
+			if non > 0 {
+				st.Misspec++
+				diags = append(diags, Diag{DiagAssignMisspec, SevInfo, e.PC, "", e.Inst,
+					fmt.Sprintf("speculate-local access went non-local on %d/%d executions (recovery cost, not a correctness issue); analyzer: %s",
+						non, loc+non, e.Reason)})
+			}
+		default:
+			if non == 0 {
+				st.MissedLocal++
+				diags = append(diags, Diag{DiagAssignMissedLocal, SevInfo, e.PC, "", e.Inst,
+					fmt.Sprintf("left to dynamic steering but all %d executions stayed in the stack region; analyzer: %s",
+						loc, e.Reason)})
+			}
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		if diags[i].PC != diags[j].PC {
+			return diags[i].PC < diags[j].PC
+		}
+		return diags[i].Kind < diags[j].Kind
+	})
+	return diags, st
+}

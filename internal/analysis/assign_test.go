@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/emu"
+	"repro/internal/workload"
+)
+
+// exampleProgs assembles every checked-in example program.
+func exampleProgs(t testing.TB) []*asm.Program {
+	paths, err := filepath.Glob("../../examples/asm/*.s")
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no example programs found: %v", err)
+	}
+	var progs []*asm.Program
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := asm.Assemble(filepath.Base(p), string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		progs = append(progs, prog)
+	}
+	return progs
+}
+
+// TestAssignSoundness is the assignment soundness gate: for every
+// workload (with its generator hints stripped) and every example program,
+// the hints produced by Assign must (a) never be contradicted by the
+// emulated oracle — a contradicted proven class is an analyzer bug — and
+// (b) produce zero architectural divergence when applied, since hints
+// steer timing and must never change semantics.
+func TestAssignSoundness(t *testing.T) {
+	var progs []*asm.Program
+	for _, w := range workload.All() {
+		progs = append(progs, w.ProgramStripped(soundnessScale))
+	}
+	progs = append(progs, exampleProgs(t)...)
+
+	for _, prog := range progs {
+		prog := prog
+		t.Run(prog.Name, func(t *testing.T) {
+			res := Assign(prog)
+			diags, st := res.Verify(soundnessMaxInsts)
+			for _, d := range diags {
+				if d.Kind == DiagAssignUnsound {
+					t.Errorf("UNSOUND assignment: %v", d)
+				}
+			}
+			if st.Unsound > 0 {
+				t.Errorf("%d unsound assignments (stats disagree with diags: %d)", st.Unsound, len(diags))
+			}
+
+			// Architectural identity: the re-hinted program must execute
+			// bit-identically to the unhinted one.
+			base, hinted := emu.New(prog.StripHints()), emu.New(res.Apply())
+			bHalt, bErr := base.Run(soundnessMaxInsts)
+			hHalt, hErr := hinted.Run(soundnessMaxInsts)
+			if bHalt != hHalt || (bErr == nil) != (hErr == nil) {
+				t.Fatalf("divergent termination: unhinted (halt=%v err=%v) vs assigned (halt=%v err=%v)",
+					bHalt, bErr, hHalt, hErr)
+			}
+			if !reflect.DeepEqual(base.Output, hinted.Output) || !reflect.DeepEqual(base.FOutput, hinted.FOutput) {
+				t.Fatalf("architectural divergence between unhinted and assigned-hint runs")
+			}
+			if base.InstCount != hinted.InstCount {
+				t.Fatalf("instruction count divergence: %d vs %d", base.InstCount, hinted.InstCount)
+			}
+			sum := res.Table.Summarize()
+			t.Logf("%s: %s; oracle %d steps, %d executed, %d misspec, %d missed-local",
+				prog.Name, sum, st.Steps, st.Executed, st.Misspec, st.MissedLocal)
+		})
+	}
+}
+
+// TestAssignProvenMatchesAnalyze: the assignment's proven hint bits must
+// be exactly the analyzer's HintTable — Assign adds speculation on top,
+// it never weakens or invents proofs.
+func TestAssignProvenMatchesAnalyze(t *testing.T) {
+	for _, w := range workload.All() {
+		prog := w.ProgramStripped(soundnessScale)
+		res := Assign(prog)
+		want := Analyze(prog).HintTable()
+		got := map[uint32]any{}
+		for _, e := range res.Table.Entries {
+			if h := e.Conf.Hint(); h != 0 {
+				got[e.PC] = h
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d proven hints assigned, analyzer proves %d", w.Name, len(got), len(want))
+		}
+		for pc, h := range want {
+			if got[pc] != h {
+				t.Errorf("%s: pc %#x assigned %v, analyzer proves %v", w.Name, pc, got[pc], h)
+			}
+		}
+	}
+}
+
+// TestHintTableRoundTrip: the serialized artifact must decode back to an
+// identical table for every workload and example.
+func TestHintTableRoundTrip(t *testing.T) {
+	progs := exampleProgs(t)
+	for _, w := range workload.All() {
+		progs = append(progs, w.ProgramStripped(soundnessScale))
+	}
+	for _, prog := range progs {
+		res := Assign(prog)
+		var buf bytes.Buffer
+		if err := res.Table.EncodeJSON(&buf); err != nil {
+			t.Fatalf("%s: encode: %v", prog.Name, err)
+		}
+		back, err := DecodeHintTable(&buf)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", prog.Name, err)
+		}
+		norm := func(tt *HintTable) HintTable {
+			c := *tt
+			if c.Entries == nil {
+				c.Entries = []Assigned{}
+			}
+			if c.Pairs == nil {
+				c.Pairs = []FwdPair{}
+			}
+			if c.Groups == nil {
+				c.Groups = []CombineGroup{}
+			}
+			return c
+		}
+		if g, w := norm(back), norm(res.Table); !reflect.DeepEqual(g, w) {
+			t.Errorf("%s: round trip changed the table\ngot:  %+v\nwant: %+v", prog.Name, g, w)
+		}
+	}
+}
+
+// TestHintTableSchemaGate: decoding rejects foreign schemas.
+func TestHintTableSchemaGate(t *testing.T) {
+	if _, err := DecodeHintTable(bytes.NewBufferString(`{"schema":"other/v9"}`)); err == nil {
+		t.Fatal("decoded a table with a foreign schema tag")
+	}
+}
+
+// FuzzAssign feeds arbitrary source through the assembler and, when it
+// assembles, checks that hint assignment is deterministic, that the
+// artifact round-trips, that applying the hints never changes
+// architectural results, and that the oracle never contradicts a proven
+// assignment.
+func FuzzAssign(f *testing.F) {
+	seeds := []string{
+		"",
+		"\t.text\nmain:\n\thalt\n",
+		"\t.text\nmain:\n\tlw $t0, 4($sp) !local\n\thalt\n",
+		"\t.text\nmain:\n\tjal f\n\thalt\nf:\n\taddi $sp, $sp, -8\n\tsw $ra, 4($sp)\n\tlw $ra, 4($sp)\n\taddi $sp, $sp, 8\n\tjr $ra\n",
+		"\t.text\nmain:\n\tla $t0, arr\n\tli $t1, 10\nloop:\n\tlw $t2, 0($t0)\n\taddi $t0, $t0, 4\n\taddi $t1, $t1, -1\n\tbne $t1, $zero, loop\n\thalt\n\t.data\narr:\t.space 40\n",
+		"\t.data\ntab:\t.word f\n\t.text\nmain:\n\tla $t0, tab\n\tlw $t3, 0($t0)\n\tjalr $ra, $t3\n\thalt\nf:\n\tjr $ra\n",
+		"\t.text\nmain:\n\taddi $t0, $sp, 0\n\tla $t1, g\n\tsw $t0, 0($t1)\n\thalt\n\t.data\ng:\t.word 0\n",
+		// Path-dependent slot pointers: the speculate-local shapes.
+		"\t.text\nmain:\n\taddi $sp, $sp, -16\n\tbeq $a0, $zero, a\n\taddi $t1, $sp, 0\n\tj b\na:\n\taddi $t1, $sp, 8\nb:\n\tsw $t2, 0($t1)\n\tlw $t3, 0($t1)\n\taddi $sp, $sp, 16\n\thalt\n",
+		"\t.text\nmain:\n\tbeq $a0, $zero, a\n\taddi $t1, $sp, 16\n\tj b\na:\n\taddi $t1, $sp, -16\nb:\n\tsw $t2, 0($t1)\n\thalt\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	const fuzzSteps = 50_000
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := asm.Assemble("fuzz.s", src)
+		if err != nil {
+			return
+		}
+		r1, r2 := Assign(prog), Assign(prog)
+		if !reflect.DeepEqual(r1.Table, r2.Table) {
+			t.Fatal("hint assignment is not deterministic")
+		}
+		var buf bytes.Buffer
+		if err := r1.Table.EncodeJSON(&buf); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		if _, err := DecodeHintTable(&buf); err != nil {
+			t.Fatalf("round trip: %v", err)
+		}
+		diags, st := r1.Verify(fuzzSteps)
+		if st.Unsound > 0 {
+			t.Fatalf("oracle contradicted a proven assignment: %v", diags)
+		}
+		base, hinted := emu.New(prog.StripHints()), emu.New(r1.Apply())
+		base.Run(fuzzSteps)
+		hinted.Run(fuzzSteps)
+		if !reflect.DeepEqual(base.Output, hinted.Output) || base.InstCount != hinted.InstCount {
+			t.Fatal("architectural divergence between unhinted and assigned-hint runs")
+		}
+	})
+}

@@ -298,7 +298,7 @@ func (d *depAnalyzer) blockEvents(fn *fnInfo, bi int) []depEvent {
 			case base.k == kStack:
 				ev.stackUnknown = true
 			default:
-				if cls, _ := classify(base, in.Imm, ev.width); cls == ClassNonLocal {
+				if cls, _, _ := classify(base, in.Imm, ev.width); cls == ClassNonLocal {
 					ev.nonstack = true
 				}
 			}

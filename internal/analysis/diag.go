@@ -36,6 +36,19 @@ const (
 	// DiagAmbiguousSlot: a stack-derived access whose frame offset is
 	// path-dependent, blocking every dependence-pass proof involving it.
 	DiagAmbiguousSlot
+	// DiagAssignUnsound: a provably-local or provably-nonlocal hint
+	// assigned by the Assign pass was contradicted by the emulated oracle
+	// — an analyzer soundness bug, never acceptable.
+	DiagAssignUnsound
+	// DiagAssignMisspec: a speculate-local assignment that dynamically
+	// accessed non-stack memory at least once; each occurrence pays the
+	// misroute-recovery penalty under SteerSpec but never affects
+	// architectural results.
+	DiagAssignMisspec
+	// DiagAssignMissedLocal: an access the Assign pass left to dynamic
+	// steering although every emulated execution stayed inside the stack
+	// region — a missed speculation opportunity.
+	DiagAssignMissedLocal
 )
 
 var diagKindNames = [...]string{
@@ -47,6 +60,9 @@ var diagKindNames = [...]string{
 	"missed-forwarding",
 	"never-combines",
 	"ambiguous-slot",
+	"assign-unsound",
+	"assign-misspeculation",
+	"assign-missed-local",
 }
 
 func (k DiagKind) String() string {
@@ -58,12 +74,17 @@ func (k DiagKind) String() string {
 
 // Pass names the analysis pass that produces findings of this kind:
 // "region" for the access-region classifier, "depend" for the
-// interprocedural dependence analysis.
+// interprocedural dependence analysis, "assign" for the hint-assignment
+// oracle cross-check.
 func (k DiagKind) Pass() string {
-	if k >= DiagMissedForwarding {
+	switch {
+	case k >= DiagAssignUnsound:
+		return "assign"
+	case k >= DiagMissedForwarding:
 		return "depend"
+	default:
+		return "region"
 	}
-	return "region"
 }
 
 // Severity grades a finding.

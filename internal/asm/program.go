@@ -77,6 +77,31 @@ func (p *Program) Symbol(name string) (uint32, error) {
 	return addr, nil
 }
 
+// StripHints returns a copy of the program with every compiler
+// access-region hint cleared (isa.HintNone), as if the source had been
+// written with no !local/!nonlocal annotations. The data segment and
+// symbol table are shared with the receiver; only the text is copied.
+func (p *Program) StripHints() *Program {
+	return p.WithHints(nil)
+}
+
+// WithHints returns a copy of the program whose memory instructions carry
+// exactly the hints in table (PC → hint); memory instructions absent from
+// the table — and every instruction when table is nil — get HintNone.
+// Existing hints never survive: the table is the complete assignment.
+func (p *Program) WithHints(table map[uint32]isa.Hint) *Program {
+	q := *p
+	q.Text = make([]isa.Inst, len(p.Text))
+	copy(q.Text, p.Text)
+	for i := range q.Text {
+		if !q.Text[i].IsMem() {
+			continue
+		}
+		q.Text[i].Hint = table[p.TextBase+uint32(i)*isa.InstBytes]
+	}
+	return &q
+}
+
 // Disassemble renders the text segment with addresses and labels.
 func (p *Program) Disassemble() string {
 	byAddr := make(map[uint32]string, len(p.Symbols))

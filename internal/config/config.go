@@ -42,6 +42,14 @@ const (
 	// predictor. It models a compiler doing the §2.2.3 classification
 	// without any ISA hint encoding.
 	SteerStatic
+	// SteerSpec consumes the analysis.Assign confidence table: provably
+	// local/non-local accesses are steered by their proof, speculate-local
+	// accesses are steered to the LVAQ *speculatively* (misses recover via
+	// the ordinary misroute squash-and-replay path and are tallied in the
+	// per-stream misspeculation counters), and leave-dynamic accesses fall
+	// back to the 1-bit region predictor. It models the prove-what-you-can
+	// / speculate-on-the-rest compiler contract of arXiv 2501.13553.
+	SteerSpec
 )
 
 func (s SteeringPolicy) String() string {
@@ -56,6 +64,8 @@ func (s SteeringPolicy) String() string {
 		return "dual"
 	case SteerStatic:
 		return "static"
+	case SteerSpec:
+		return "spec"
 	default:
 		return fmt.Sprintf("steer%d", uint8(s))
 	}

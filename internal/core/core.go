@@ -78,6 +78,10 @@ type uop struct {
 	// (SteerDual); cleared when the address resolves and the wrong copy
 	// is killed.
 	dual bool
+	// spec marks an access steered to the local stream on a
+	// speculate-local assignment (SteerSpec) rather than a proof; a
+	// misroute of such a uop is a misspeculation, tallied separately.
+	spec bool
 
 	issuedAt      uint64
 	combined      bool
@@ -209,6 +213,11 @@ type Core struct {
 	// Absent entries are ambiguous and fall back to the predictor.
 	staticClass map[uint32]isa.Hint
 
+	// specClass is the per-PC confidence table produced by the
+	// analysis.Assign pass, consulted under SteerSpec. Absent entries are
+	// leave-dynamic and fall back to the predictor.
+	specClass map[uint32]analysis.ConfClass
+
 	// fwdPairs (load PC → store PC) and combineGroups (member PC → group
 	// id) are the statically-proven tables from the interprocedural
 	// dependence analysis, populated under ForwardStatic/CombineStatic.
@@ -274,6 +283,9 @@ func New(prog *asm.Program, cfg config.Config) (*Core, error) {
 	}
 	if cfg.Decoupled() && cfg.Steering == config.SteerStatic {
 		c.staticClass = analysis.Analyze(prog).HintTable()
+	}
+	if cfg.Decoupled() && cfg.Steering == config.SteerSpec {
+		c.specClass = analysis.Assign(prog).SteerTable()
 	}
 	if cfg.Decoupled() && (cfg.ForwardStatic || cfg.CombineStatic) {
 		dep := analysis.Dependences(prog, cfg.LVC.LineBytes)

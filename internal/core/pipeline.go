@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/analysis"
 	"repro/internal/config"
 	"repro/internal/emu"
 	"repro/internal/isa"
@@ -321,15 +322,16 @@ func (c *Core) dispatchStage() {
 		}
 		in := ef.Inst
 
-		var local, dual bool
+		var local, dual, spec bool
 		var target int
 		if in.IsMem() {
-			local, dual = c.steer(ef)
+			local, dual, spec = c.steer(ef)
 			if c.fi != nil && c.cfg.Decoupled() {
 				// Injected fault: a corrupted steering hint. The
 				// verification path (checkSteering) recovers misroutes,
 				// so the lie costs cycles, never correctness.
 				local = c.fi.FlipSteer(ef.PC, local)
+				spec = spec && local
 			}
 			target = c.route(local)
 			if c.streamFull(target) || (dual && c.streamFull(c.route(!local))) {
@@ -354,6 +356,12 @@ func (c *Core) dispatchStage() {
 			u.isLoad = in.IsLoad()
 			u.stream = target
 			u.dual = dual
+			u.spec = spec
+			if spec {
+				// Event counter, like Misroutes: a squashed-and-replayed
+				// spec access counts again on re-dispatch.
+				c.streams[target].Stats.SpecSteered++
+			}
 			u.baseReg = in.BaseReg()
 			u.spGen = c.spGen
 			u.combineGroup = memsys.GroupNone
@@ -482,10 +490,12 @@ func (c *Core) nextEffect() (emu.Effect, bool) {
 // accesses go to the local stream, everything else to the conventional
 // one. Under SteerDual, an unhinted access additionally reports dual=true:
 // it is inserted into both streams and the wrong copy is killed at address
-// resolution (§2.1 footnote 3).
-func (c *Core) steer(ef emu.Effect) (local, dual bool) {
+// resolution (§2.1 footnote 3). Under SteerSpec, a speculate-local access
+// reports spec=true: it is steered local on an unproven assignment and a
+// later misroute of it is accounted as a misspeculation.
+func (c *Core) steer(ef emu.Effect) (local, dual, spec bool) {
 	if !c.cfg.Decoupled() {
-		return false, false
+		return false, false, false
 	}
 	switch c.cfg.Steering {
 	case config.SteerOracle:
@@ -519,6 +529,26 @@ func (c *Core) steer(ef emu.Effect) (local, dual bool) {
 			}
 			c.stats.PredictedSteers++
 		}
+	case config.SteerSpec:
+		// The Assign pass's confidence table: proofs are trusted,
+		// speculate-local is steered local on faith (misroute recovery
+		// absorbs the misses), leave-dynamic falls back to the predictor.
+		switch c.specClass[ef.PC] {
+		case analysis.ConfProvenLocal:
+			local = true
+		case analysis.ConfProvenNonLocal:
+			local = false
+		case analysis.ConfSpecLocal:
+			local = true
+			spec = true
+		default:
+			if pred, ok := c.regionPredictor[ef.PC]; ok {
+				local = pred
+			} else {
+				local = ef.Inst.BaseReg() == isa.RegSP || ef.Inst.BaseReg() == isa.RegFP
+			}
+			c.stats.PredictedSteers++
+		}
 	default: // SteerHint
 		switch ef.Inst.Hint {
 		case isa.HintLocal:
@@ -534,7 +564,7 @@ func (c *Core) steer(ef emu.Effect) (local, dual bool) {
 			c.stats.PredictedSteers++
 		}
 	}
-	return local, dual
+	return local, dual, spec
 }
 
 // checkSteering verifies the stream assignment once the effective address
@@ -550,6 +580,8 @@ func (c *Core) checkSteering(u *uop) {
 	case c.cfg.Steering == config.SteerHint && u.ef.Inst.Hint == isa.HintNone:
 		c.regionPredictor[u.ef.PC] = local
 	case c.cfg.Steering == config.SteerStatic && c.staticClass[u.ef.PC] == isa.HintNone:
+		c.regionPredictor[u.ef.PC] = local
+	case c.cfg.Steering == config.SteerSpec && c.specClass[u.ef.PC] == analysis.ConfDynamic:
 		c.regionPredictor[u.ef.PC] = local
 	}
 	right := c.route(local)
@@ -571,6 +603,11 @@ func (c *Core) checkSteering(u *uop) {
 	}
 	c.stats.Misroutes++
 	u.misrouted = true
+	if u.spec {
+		// A speculate-local assignment resolved non-local: the recovery
+		// below is the misspeculation cost (never a correctness event).
+		c.streams[u.stream].Stats.SpecMisrouted++
+	}
 	// Recovery "like a branch misprediction" (§2.1): squash everything
 	// younger, re-steer this access into the correct stream, and stall the
 	// front end for the refill penalty. The squashed instructions replay

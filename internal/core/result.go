@@ -36,6 +36,8 @@ type Stats struct {
 
 	// Steering.
 	Misroutes           uint64
+	SpecSteers          uint64 // accesses steered local on a speculate-local assignment
+	SpecMisroutes       uint64 // subset of Misroutes caused by that speculation
 	PredictedSteers     uint64
 	DualInserted        uint64 // ambiguous accesses copied into both queues
 	DualMisguessed      uint64 // dual accesses whose primary guess was wrong
@@ -131,6 +133,10 @@ func (r *Result) String() string {
 	p("fwd loads         %d (fast %d)\n", r.FwdLoads, r.FastFwdLoads)
 	p("combined accesses %d\n", r.CombinedAccesses)
 	p("misroutes         %d (recovery stall %d cycles)\n", r.Misroutes, r.RecoveryStallCycles)
+	if r.SpecSteers > 0 {
+		p("spec steers       %d (%d misrouted, %.2f%%)\n",
+			r.SpecSteers, r.SpecMisroutes, 100*stats.Ratio(r.SpecMisroutes, r.SpecSteers))
+	}
 	p("L1D               %d acc, %d miss (%.2f%%), %d wb\n",
 		r.L1.Accesses(), r.L1.Misses(), 100*r.L1.MissRate(), r.L1.Writebacks)
 	if r.LVC.Accesses() > 0 {
@@ -170,6 +176,8 @@ func (c *Core) result() *Result {
 		r.Streams = append(r.Streams, StreamResult{
 			Name: s.Spec.Name, Local: s.Spec.Local, Stats: st, Cache: s.Cache.Stats,
 		})
+		r.SpecSteers += st.SpecSteered
+		r.SpecMisroutes += st.SpecMisrouted
 		r.FwdLoads += st.FwdLoads
 		r.FastFwdLoads += st.FastFwdLoads
 		r.CombinedAccesses += st.Combined

@@ -1,0 +1,104 @@
+// Simulator-performance benchmark: how fast the simulator itself runs,
+// per workload, in a stable machine-readable schema. `ddbench -json`
+// emits it; the committed BENCH_<n>.json snapshots give the ROADMAP's
+// perf-regression tracking its baselines.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// BenchSchema is the wire-format version tag of the -json benchmark
+// report. Bump only on deliberate, documented schema changes.
+const BenchSchema = "ddbench/v1"
+
+// BenchEntry is one workload's measurement.
+type BenchEntry struct {
+	Workload  string  `json:"workload"`
+	Cycles    uint64  `json:"cycles"`    // simulated cycles (deterministic)
+	Committed uint64  `json:"committed"` // committed instructions (deterministic)
+	IPC       float64 `json:"ipc"`
+	// Host-dependent throughput: simulated Minst per wall-clock second
+	// and heap allocations per committed instruction.
+	WallSeconds float64 `json:"wall_seconds"`
+	MinstPerSec float64 `json:"minst_per_sec"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// BenchReport is the full -json benchmark artifact.
+type BenchReport struct {
+	Schema     string       `json:"schema"`
+	Scale      float64      `json:"scale"`
+	Config     string       `json:"config"`
+	GoVersion  string       `json:"go_version"`
+	GOARCH     string       `json:"goarch"`
+	Workloads  []BenchEntry `json:"workloads"`
+	TotalMinst float64      `json:"total_minst"`
+	TotalSecs  float64      `json:"total_seconds"`
+}
+
+// Bench simulates every workload once under the paper's (3+2)×4-way
+// optimized configuration and measures simulator throughput. The
+// simulated counters (cycles, committed) are deterministic; the
+// throughput numbers are host-dependent.
+func Bench(scale float64) (*BenchReport, error) {
+	cfg := config.Default().WithPorts(3, 2).WithOptimizations(2)
+	rep := &BenchReport{
+		Schema:    BenchSchema,
+		Scale:     scale,
+		Config:    cfg.Name(),
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		Workloads: []BenchEntry{},
+	}
+	var ms0, ms1 runtime.MemStats
+	for _, w := range workload.All() {
+		prog := w.Program(scale)
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		c, err := core.New(prog, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", w.Name, err)
+		}
+		res, err := c.Run()
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", w.Name, err)
+		}
+		wall := time.Since(start).Seconds()
+		runtime.ReadMemStats(&ms1)
+		allocs := float64(ms1.Mallocs - ms0.Mallocs)
+		e := BenchEntry{
+			Workload:    w.Name,
+			Cycles:      res.Cycles,
+			Committed:   res.Committed,
+			IPC:         res.IPC(),
+			WallSeconds: wall,
+		}
+		if wall > 0 {
+			e.MinstPerSec = float64(res.Committed) / 1e6 / wall
+		}
+		if res.Committed > 0 {
+			e.AllocsPerOp = allocs / float64(res.Committed)
+		}
+		rep.Workloads = append(rep.Workloads, e)
+		rep.TotalMinst += float64(res.Committed) / 1e6
+		rep.TotalSecs += wall
+	}
+	return rep, nil
+}
+
+// EncodeJSON writes the report in its stable wire form.
+func (r *BenchReport) EncodeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

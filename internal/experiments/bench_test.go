@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestBenchSchema runs the benchmark at a tiny scale and pins the stable
+// parts of the ddbench/v1 schema: the version tag, one entry per
+// workload, and deterministic simulated counters (cycles/committed must
+// be reproducible run to run; throughput fields are host-dependent and
+// only checked for sanity).
+func TestBenchSchema(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmarks all workloads")
+	}
+	rep, err := Bench(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != BenchSchema {
+		t.Errorf("schema %q, want %q", rep.Schema, BenchSchema)
+	}
+	if got, want := len(rep.Workloads), len(workload.All()); got != want {
+		t.Fatalf("%d entries, want %d", got, want)
+	}
+	seen := map[string]BenchEntry{}
+	for _, e := range rep.Workloads {
+		if e.Workload == "" || e.Cycles == 0 || e.Committed == 0 || e.IPC <= 0 {
+			t.Errorf("degenerate entry: %+v", e)
+		}
+		if e.WallSeconds < 0 || e.MinstPerSec < 0 || e.AllocsPerOp < 0 {
+			t.Errorf("negative throughput fields: %+v", e)
+		}
+		seen[e.Workload] = e
+	}
+
+	// The wire form must round-trip with the same field names.
+	var buf bytes.Buffer
+	if err := rep.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back BenchReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.Schema != rep.Schema || len(back.Workloads) != len(rep.Workloads) {
+		t.Errorf("round trip changed the report")
+	}
+
+	// Simulated counters are deterministic across runs.
+	rep2, err := Bench(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e2 := range rep2.Workloads {
+		e1 := seen[e2.Workload]
+		if e1.Cycles != e2.Cycles || e1.Committed != e2.Committed {
+			t.Errorf("%s: non-deterministic counters: (%d, %d) vs (%d, %d)",
+				e2.Workload, e1.Cycles, e1.Committed, e2.Cycles, e2.Committed)
+		}
+	}
+}

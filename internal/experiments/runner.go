@@ -90,7 +90,42 @@ func (r *Runner) Result(w workload.Workload, cfg config.Config) (*core.Result, e
 // ResultCtx simulates workload w under cfg (cached), additionally bounded
 // by ctx: cancellation ends the simulation with a typed *simerr.SimError.
 func (r *Runner) ResultCtx(ctx context.Context, w workload.Workload, cfg config.Config) (*core.Result, error) {
-	key := cfgKey(w.Name, cfg)
+	res, err := r.cachedRun(cfgKey(w.Name, cfg), w.Name, cfg, func() (*core.Result, error) {
+		if r.testRun != nil {
+			return r.testRun(w, cfg)
+		}
+		return r.runProgram(ctx, r.program(w), cfg)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s under %s: %w", w.Name, cfg.Name(), err)
+	}
+	return res, nil
+}
+
+// ResultProgram simulates an arbitrary named program under cfg, with the
+// same caching, containment and progress reporting as workload runs. The
+// name spans its own key space ("prog:<name>"), so derived program
+// variants (hint-stripped, re-hinted) never alias the generator-hinted
+// workload results. The caller must use distinct names for distinct
+// program images.
+func (r *Runner) ResultProgram(name string, prog *asm.Program, cfg config.Config) (*core.Result, error) {
+	return r.ResultProgramCtx(context.Background(), name, prog, cfg)
+}
+
+// ResultProgramCtx is ResultProgram additionally bounded by ctx.
+func (r *Runner) ResultProgramCtx(ctx context.Context, name string, prog *asm.Program, cfg config.Config) (*core.Result, error) {
+	res, err := r.cachedRun(cfgKey("prog:"+name, cfg), name, cfg, func() (*core.Result, error) {
+		return r.runProgram(ctx, prog, cfg)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: program %s under %s: %w", name, cfg.Name(), err)
+	}
+	return res, nil
+}
+
+// cachedRun resolves key through the result cache, claiming the key (or
+// waiting for the in-flight owner) and then executing run exactly once.
+func (r *Runner) cachedRun(key, label string, cfg config.Config, run func() (*core.Result, error)) (*core.Result, error) {
 	for {
 		r.mu.Lock()
 		if res, ok := r.results[key]; ok {
@@ -109,13 +144,13 @@ func (r *Runner) ResultCtx(ctx context.Context, w workload.Workload, cfg config.
 		break
 	}
 
-	res, err := r.simulate(ctx, key, w, cfg)
+	res, err := r.simulate(key, run)
 	if err != nil {
-		return nil, fmt.Errorf("experiments: %s under %s: %w", w.Name, cfg.Name(), err)
+		return nil, err
 	}
 	if r.Progress != nil {
 		fmt.Fprintf(r.Progress, "  ran %-10s %-8s ipc=%.3f cycles=%d\n",
-			w.Name, cfg.Name(), res.IPC(), res.Cycles)
+			label, cfg.Name(), res.IPC(), res.Cycles)
 	}
 	return res, nil
 }
@@ -126,7 +161,7 @@ func (r *Runner) ResultCtx(ctx context.Context, w workload.Workload, cfg config.
 // anywhere on the path (program generation, core construction — the cycle
 // loop itself is already contained by core.RunWith) is converted into the
 // same typed error the core produces.
-func (r *Runner) simulate(ctx context.Context, key string, w workload.Workload, cfg config.Config) (res *core.Result, err error) {
+func (r *Runner) simulate(key string, run func() (*core.Result, error)) (res *core.Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			res, err = nil, &simerr.SimError{
@@ -145,10 +180,11 @@ func (r *Runner) simulate(ctx context.Context, key string, w workload.Workload, 
 		r.mu.Unlock()
 	}()
 
-	if r.testRun != nil {
-		return r.testRun(w, cfg)
-	}
-	prog := r.program(w)
+	return run()
+}
+
+// runProgram constructs and runs one core simulation.
+func (r *Runner) runProgram(ctx context.Context, prog *asm.Program, cfg config.Config) (*core.Result, error) {
 	c, err := core.New(prog, cfg)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,77 @@
+package faultinject
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestSpecSteeringSoak: the SteerSpec policy speculates on unproven
+// local accesses and leans on the misroute recovery path, so it is the
+// steering mode most exposed to steering faults. Sweep every workload
+// with its generator hints stripped (so the speculation table is the
+// only steering knowledge) under seeded fault campaigns that corrupt
+// steering decisions, and require bit-identical architectural results
+// against the fault-free speculative run — misspeculation and injected
+// misroutes may cost cycles, never correctness.
+func TestSpecSteeringSoak(t *testing.T) {
+	seeds := soakEnvInt("SPEC_SOAK_SEEDS", 8)
+	scale := soakEnvFloat("FAULT_SOAK_SCALE", defaultSoakScale)
+	if testing.Short() {
+		seeds = 2
+	}
+	cfg := testConfig()
+	cfg.Steering = config.SteerSpec
+
+	campaigns := []Fault{
+		FlipSteer,
+		FlipSteer | BurstStall,
+		FlipSteer | QueuePressure,
+		DropGrant | FlipSteer,
+	}
+
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			prog := w.ProgramStripped(scale)
+
+			baseCore, err := core.New(prog, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := baseCore.Run()
+			if err != nil {
+				t.Fatalf("fault-free speculative run: %v", err)
+			}
+
+			for seed := 0; seed < seeds; seed++ {
+				p := Params{Faults: campaigns[seed%len(campaigns)]}
+				inj := New(int64(1000+seed), p)
+				c, err := core.New(prog, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := c.RunWith(context.Background(), core.RunOptions{
+					MaxCycles:      50*base.Cycles + 2_000_000,
+					WatchdogCycles: 250_000,
+					Injector:       inj,
+				})
+				if err != nil {
+					t.Errorf("seed %d (%s): %v", seed, p.Faults, err)
+					continue
+				}
+				if res.Committed != base.Committed {
+					t.Errorf("seed %d (%s): committed %d, want %d", seed, p.Faults, res.Committed, base.Committed)
+					continue
+				}
+				if !outputsEqual(res.Output, base.Output) || !foutputsEqual(res.FOutput, base.FOutput) {
+					t.Errorf("seed %d (%s): architectural outputs diverged", seed, p.Faults)
+				}
+			}
+		})
+	}
+}

@@ -10,6 +10,13 @@ import (
 type Stats struct {
 	Dispatched uint64 // accesses steered here (primary copies only)
 
+	// Speculative-steering accounting (SteerSpec): accesses steered here
+	// on a speculate-local assignment rather than a proof, and the subset
+	// that resolved to the other stream's region and paid the misroute
+	// recovery path.
+	SpecSteered   uint64
+	SpecMisrouted uint64
+
 	FwdLoads     uint64 // store→load forwards inside this queue
 	FastFwdLoads uint64 // offset-based forwards before address generation
 	Combined     uint64 // accesses that rode a shared port grant

@@ -82,6 +82,15 @@ func (w Workload) ProgramSeeded(scale float64, seed uint64) *asm.Program {
 	return asm.MustAssemble(w.Name+".s", w.build(scale, seed))
 }
 
+// ProgramStripped assembles the workload and then discards every
+// generator-emitted access-region hint, yielding the program a
+// hint-unaware compiler would produce. It is the input the
+// analysis.Assign pass re-hints from scratch (the "close the compiler
+// loop" ablation).
+func (w Workload) ProgramStripped(scale float64) *asm.Program {
+	return w.Program(scale).StripHints()
+}
+
 // Source returns the generated assembly text at the given scale.
 func (w Workload) Source(scale float64) string {
 	if scale <= 0 {

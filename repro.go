@@ -74,6 +74,7 @@ const (
 	SteerOracle = config.SteerOracle
 	SteerDual   = config.SteerDual
 	SteerStatic = config.SteerStatic
+	SteerSpec   = config.SteerSpec
 )
 
 // DefaultConfig returns the paper's base machine model in the (2+0)
