@@ -1,4 +1,5 @@
-// Command ddbench regenerates the paper's tables and figures.
+// Command ddbench regenerates the paper's tables and figures, measures
+// simulator throughput, and gates performance regressions.
 //
 // Usage:
 //
@@ -6,36 +7,43 @@
 //	ddbench -exp fig7 -scale 0.5
 //	ddbench -exp all -scale 1.0 -v
 //	ddbench -exp all -scale 0.1 -timeout 10m -maxcycles 50000000
-//	ddbench -json -scale 0.1 > BENCH.json   # simulator-performance snapshot
+//	ddbench -json -scale 0.1 > BENCH.json          # simulator-performance snapshot
+//	ddbench -compare BENCH_6.json -comparewith BENCH_7.json   # gate two snapshots
+//	ddbench -compare BENCH_7.json                  # gate a fresh run vs a snapshot
 //
 // -timeout bounds the whole invocation in wall-clock time and -maxcycles
 // bounds each individual simulation; either abort exits non-zero with the
 // typed failure and, when available, the pipeline snapshot of the run that
-// tripped (the watchdog/abort state dump).
+// tripped — always on stderr, so stdout stays parseable.
+//
+// -compare reads a committed ddbench/v1 baseline and exits 1 when
+// aggregate Minst/s dropped by more than -tolerance (default 5%) in the
+// candidate (-comparewith file, or a fresh benchmark at the baseline's
+// scale). Changed deterministic cycle counts are flagged per workload.
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
-	"repro/internal/simerr"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id or 'all'")
-		scale = flag.Float64("scale", 1.0, "workload scale factor")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		bench = flag.Bool("json", false, "benchmark simulator throughput per workload and emit the ddbench/v1 JSON report")
-		verb  = flag.Bool("v", false, "print per-simulation progress")
-
-		maxCycles = flag.Uint64("maxcycles", 0, "abort any single simulation after this many cycles (0 = unbounded)")
-		timeout   = flag.Duration("timeout", 0, "abort the whole invocation after this much wall-clock time (0 = unbounded)")
+		exp     = flag.String("exp", "all", "experiment id or 'all'")
+		scale   = flag.Float64("scale", 1.0, "workload scale factor")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		bench   = flag.Bool("json", false, "benchmark simulator throughput per workload and emit the ddbench/v1 JSON report")
+		verb    = flag.Bool("v", false, "print per-simulation progress")
+		compare = flag.String("compare", "", "baseline ddbench/v1 report: compare and gate regressions instead of running experiments")
+		against = flag.String("comparewith", "", "candidate report for -compare (empty = run a fresh benchmark at the baseline's scale)")
+		tol     = flag.Float64("tolerance", 0.05, "allowed fractional aggregate Minst/s drop for -compare")
 	)
+	budget := cliutil.RegisterBudget(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -45,15 +53,18 @@ func main() {
 		return
 	}
 
+	if *compare != "" {
+		runCompare(*compare, *against, *tol)
+		return
+	}
+
 	if *bench {
 		rep, err := experiments.Bench(*scale)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ddbench:", err)
-			os.Exit(1)
+			cliutil.FatalSim("ddbench", err)
 		}
 		if err := rep.EncodeJSON(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "ddbench:", err)
-			os.Exit(1)
+			cliutil.FatalSim("ddbench", err)
 		}
 		return
 	}
@@ -62,10 +73,7 @@ func main() {
 	if *verb {
 		r.Progress = os.Stderr
 	}
-	r.RunOpts.MaxCycles = *maxCycles
-	if *timeout > 0 {
-		r.RunOpts.Deadline = time.Now().Add(*timeout)
-	}
+	r.RunOpts = budget.RunOptions()
 
 	var selected []experiments.Experiment
 	if *exp == "all" {
@@ -73,8 +81,7 @@ func main() {
 	} else {
 		e, err := experiments.ByID(*exp)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ddbench:", err)
-			os.Exit(1)
+			cliutil.FatalSim("ddbench", err)
 		}
 		selected = []experiments.Experiment{e}
 	}
@@ -83,17 +90,40 @@ func main() {
 		start := time.Now()
 		out, err := e.Run(r)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ddbench: %s: %v\n", e.ID, err)
-			var se *simerr.SimError
-			if errors.As(err, &se) {
-				fmt.Fprintf(os.Stderr, "pipeline snapshot (%s):\n%s", se.Kind, se.Snapshot)
-			}
-			os.Exit(1)
+			cliutil.FatalSim("ddbench: "+e.ID, err)
 		}
 		fmt.Printf("==> %s — %s\n", e.ID, e.Title)
 		fmt.Println(out)
 		if *verb {
 			fmt.Fprintf(os.Stderr, "  [%s took %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
 		}
+	}
+}
+
+// runCompare executes the perf-regression gate: exit 0 within tolerance,
+// exit 1 on a regression (the report itself goes to stdout either way).
+func runCompare(baselinePath, candidatePath string, tolerance float64) {
+	baseline, err := experiments.ReadBenchReport(baselinePath)
+	if err != nil {
+		cliutil.FatalSim("ddbench", err)
+	}
+	var candidate *experiments.BenchReport
+	if candidatePath != "" {
+		if candidate, err = experiments.ReadBenchReport(candidatePath); err != nil {
+			cliutil.FatalSim("ddbench", err)
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "ddbench: benchmarking fresh candidate at scale %g\n", baseline.Scale)
+		if candidate, err = experiments.Bench(baseline.Scale); err != nil {
+			cliutil.FatalSim("ddbench", err)
+		}
+	}
+	cmp, err := experiments.CompareBench(baseline, candidate)
+	if err != nil {
+		cliutil.FatalSim("ddbench", err)
+	}
+	fmt.Print(cmp.Render(tolerance))
+	if cmp.Regressed(tolerance) {
+		os.Exit(1)
 	}
 }

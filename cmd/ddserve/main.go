@@ -1,0 +1,116 @@
+// Command ddserve hosts the simulator as a fault-tolerant HTTP service:
+// POST a simulation job (workload name or assembly source plus machine
+// configuration) to /jobs and get the statistics block back as JSON.
+//
+// Usage:
+//
+//	ddserve -addr :8080 -cache /var/cache/ddserve
+//	ddserve -addr :8080 -workers 8 -queue 128 -maxcycles 50000000 -timeout 30s
+//	ddserve -addr :8080 -pprof localhost:6060
+//
+//	curl -s localhost:8080/jobs -d '{"workload":"li","scale":0.1,"ports":"3+2","opt":true}'
+//	curl -s localhost:8080/statz
+//
+// The service is robust by construction: a bounded worker pool behind an
+// admission-controlled queue with per-client fairness (429 + Retry-After
+// when full), per-job timeouts and cancel propagation, bounded retries
+// with backoff for transient failures, typed error JSON with the pipeline
+// snapshot for the rest, a persistent result cache that treats corrupt
+// entries as misses, and graceful drain on SIGTERM/SIGINT: intake stops
+// (503), in-flight jobs finish inside -drain, stragglers are cancelled.
+//
+// The shared -maxcycles/-watchdog budget flags bound every job's run; the
+// shared -timeout flag is the per-job wall-clock cap here. -pprof mounts
+// net/http/pprof on its own listener so profiling never shares the
+// service port.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "service listen address")
+		pprofAddr = flag.String("pprof", "", "pprof sidecar listen address (empty = disabled)")
+		workers   = flag.Int("workers", 0, "simulation worker pool size (0 = min(GOMAXPROCS, 4))")
+		queueCap  = flag.Int("queue", 0, "job queue depth bound (0 = 64)")
+		perClient = flag.Int("perclient", 0, "per-client queued-job bound (0 = 8)")
+		retries   = flag.Int("retries", 0, "retries per transiently-failed job (0 = 2, negative = none)")
+		maxScale  = flag.Float64("maxscale", 1.0, "largest accepted workload scale factor")
+		cacheDir  = flag.String("cache", "", "persistent result cache directory (empty = disabled)")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful-drain deadline on SIGTERM/SIGINT")
+	)
+	budget := cliutil.RegisterBudget(flag.CommandLine)
+	flag.Parse()
+
+	jobTimeout := budget.Timeout
+	if jobTimeout == 0 {
+		jobTimeout = 60 * time.Second
+	}
+	srv, err := serve.New(serve.Options{
+		Workers:      *workers,
+		QueueDepth:   *queueCap,
+		MaxPerClient: *perClient,
+		MaxRetries:   *retries,
+		JobTimeout:   jobTimeout,
+		MaxScale:     *maxScale,
+		CacheDir:     *cacheDir,
+		RunOpts:      budget.RunOptions(), // Deadline ignored: per-job wall clock is JobTimeout
+	})
+	if err != nil {
+		cliutil.FatalSim("ddserve", err)
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			// The default mux carries the pprof handlers via the blank
+			// import; the service mux below never does.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "ddserve: pprof sidecar:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "ddserve: pprof sidecar on %s\n", *pprofAddr)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- httpSrv.ListenAndServe()
+	}()
+	fmt.Fprintf(os.Stderr, "ddserve: serving on %s\n", *addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case err := <-errCh:
+		cliutil.FatalSim("ddserve", err)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintf(os.Stderr, "ddserve: draining (deadline %v)\n", *drain)
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Order matters: drain the job layer first so queued work finishes
+	// and late submissions get typed 503s, then close the listener.
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "ddserve: forced drain:", err)
+	}
+	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "ddserve: http shutdown:", err)
+	}
+	fmt.Fprintln(os.Stderr, "ddserve: drained")
+}

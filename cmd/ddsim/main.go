@@ -16,15 +16,14 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/asm"
+	"repro/internal/cliutil"
 	"repro/internal/config"
 	"repro/internal/core"
-	"repro/internal/simerr"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -43,11 +42,8 @@ func main() {
 		maxInst = flag.Uint64("maxinst", 0, "commit budget (0 = run to halt)")
 		list    = flag.Bool("list", false, "list available workloads and exit")
 		traceN  = flag.Int("trace", 0, "print a pipeline trace of the first N instructions")
-
-		maxCycles = flag.Uint64("maxcycles", 0, "abort after this many simulated cycles (0 = unbounded)")
-		timeout   = flag.Duration("timeout", 0, "abort after this much wall-clock time (0 = unbounded)")
-		watchdog  = flag.Uint64("watchdog", 0, "forward-progress window in cycles (0 = default)")
 	)
+	budget := cliutil.RegisterBudget(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -72,22 +68,11 @@ func main() {
 		cfg.ForwardStatic = true
 		cfg.CombineStatic = cfg.CombineWidth > 1
 	}
-	switch *steer {
-	case "hint":
-		cfg.Steering = config.SteerHint
-	case "sp":
-		cfg.Steering = config.SteerSP
-	case "oracle":
-		cfg.Steering = config.SteerOracle
-	case "dual":
-		cfg.Steering = config.SteerDual
-	case "static":
-		cfg.Steering = config.SteerStatic
-	case "spec":
-		cfg.Steering = config.SteerSpec
-	default:
-		fatal(fmt.Errorf("unknown steering policy %q", *steer))
+	steering, err := config.ParseSteering(*steer)
+	if err != nil {
+		fatal(err)
 	}
+	cfg.Steering = steering
 	cfg.MaxInsts = *maxInst
 
 	var prog *asm.Program
@@ -123,18 +108,9 @@ func main() {
 		rec = trace.NewRecorder(*traceN)
 		c.SetTracer(rec)
 	}
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
-	res, err := c.RunWith(ctx, core.RunOptions{
-		MaxCycles:      *maxCycles,
-		WatchdogCycles: *watchdog,
-	})
+	res, err := c.RunWith(context.Background(), budget.RunOptions())
 	if err != nil {
-		fatalSim(err)
+		cliutil.FatalSim("ddsim", err)
 	}
 	fmt.Print(res)
 	if rec != nil {
@@ -147,16 +123,5 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "ddsim:", err)
-	os.Exit(1)
-}
-
-// fatalSim reports a failed run; for a typed simulation failure it also
-// prints the pipeline snapshot (the watchdog/abort state dump).
-func fatalSim(err error) {
-	fmt.Fprintln(os.Stderr, "ddsim:", err)
-	var se *simerr.SimError
-	if errors.As(err, &se) {
-		fmt.Fprintf(os.Stderr, "pipeline snapshot (%s):\n%s", se.Kind, se.Snapshot)
-	}
 	os.Exit(1)
 }

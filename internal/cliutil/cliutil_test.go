@@ -1,0 +1,60 @@
+package cliutil
+
+import (
+	"flag"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/simerr"
+)
+
+func TestRegisterBudgetParsesTrio(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	b := RegisterBudget(fs)
+	if err := fs.Parse([]string{"-maxcycles", "1234", "-timeout", "2s", "-watchdog", "77"}); err != nil {
+		t.Fatal(err)
+	}
+	if b.MaxCycles != 1234 || b.Timeout != 2*time.Second || b.Watchdog != 77 {
+		t.Fatalf("parsed budget = %+v", *b)
+	}
+
+	opts := b.RunOptions()
+	if opts.MaxCycles != 1234 || opts.WatchdogCycles != 77 {
+		t.Fatalf("run options = %+v", opts)
+	}
+	if opts.Deadline.IsZero() || time.Until(opts.Deadline) > 2*time.Second {
+		t.Fatalf("deadline not resolved from timeout: %v", opts.Deadline)
+	}
+}
+
+func TestZeroBudgetHasNoDeadline(t *testing.T) {
+	opts := (&Budget{}).RunOptions()
+	if !opts.Deadline.IsZero() || opts.MaxCycles != 0 || opts.WatchdogCycles != 0 {
+		t.Fatalf("zero budget produced bounds: %+v", opts)
+	}
+}
+
+func TestReportSimPrintsSnapshot(t *testing.T) {
+	err := &simerr.SimError{
+		Kind:     simerr.KindWatchdog,
+		Reason:   "no instruction committed",
+		Snapshot: simerr.Snapshot{Cycle: 42, Committed: 7},
+	}
+	var b strings.Builder
+	ReportSim(&b, "ddtest", err)
+	out := b.String()
+	for _, want := range []string{"ddtest:", "watchdog", "pipeline snapshot", "cycle 42"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportSimPlainError(t *testing.T) {
+	var b strings.Builder
+	ReportSim(&b, "ddtest", flag.ErrHelp)
+	if strings.Contains(b.String(), "snapshot") {
+		t.Fatalf("plain error grew a snapshot:\n%s", b.String())
+	}
+}

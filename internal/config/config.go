@@ -71,6 +71,27 @@ func (s SteeringPolicy) String() string {
 	}
 }
 
+// ParseSteering parses a steering-policy name as accepted by the CLIs and
+// the service job schema (the inverse of SteeringPolicy.String).
+func ParseSteering(s string) (SteeringPolicy, error) {
+	switch s {
+	case "", "hint":
+		return SteerHint, nil
+	case "sp":
+		return SteerSP, nil
+	case "oracle":
+		return SteerOracle, nil
+	case "dual":
+		return SteerDual, nil
+	case "static":
+		return SteerStatic, nil
+	case "spec":
+		return SteerSpec, nil
+	default:
+		return 0, fmt.Errorf("config: unknown steering policy %q", s)
+	}
+}
+
 // PortModel selects how a cache provides its ports (paper §1 discusses
 // the alternatives and their drawbacks).
 type PortModel uint8

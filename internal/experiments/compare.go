@@ -1,0 +1,124 @@
+// Benchmark-snapshot comparison: the perf-regression gate over committed
+// BENCH_<n>.json files. `ddbench -compare` reads two ddbench/v1 reports
+// (or one report and a fresh run) and fails when aggregate simulator
+// throughput dropped past the tolerance.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// ReadBenchReport loads and schema-checks one ddbench/v1 report.
+func ReadBenchReport(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", path, err)
+	}
+	if rep.Schema != BenchSchema {
+		return nil, fmt.Errorf("experiments: %s: schema %q, want %q", path, rep.Schema, BenchSchema)
+	}
+	return &rep, nil
+}
+
+// CompareRow is one workload's old-vs-new throughput.
+type CompareRow struct {
+	Workload string
+	// OldMinst/NewMinst are Minst/s; zero on the side that lacks the
+	// workload.
+	OldMinst, NewMinst float64
+	// Delta is the fractional throughput change (new/old - 1).
+	Delta float64
+	// CyclesChanged flags a difference in the deterministic simulated
+	// cycle count — a timing-model change, not a host-speed effect.
+	CyclesChanged bool
+}
+
+// BenchComparison is the verdict of comparing two benchmark reports.
+type BenchComparison struct {
+	Rows []CompareRow
+	// OldTput/NewTput are the aggregate simulated-Minst-per-second of
+	// each report (total committed work over total wall time).
+	OldTput, NewTput float64
+	// Delta is the fractional aggregate change (NewTput/OldTput - 1);
+	// the regression gate triggers on Delta < -tolerance.
+	Delta float64
+}
+
+// CompareBench compares a baseline report against a candidate. The scale
+// must match: throughput at different workload sizes is not comparable.
+func CompareBench(old, new *BenchReport) (*BenchComparison, error) {
+	if old.Scale != new.Scale {
+		return nil, fmt.Errorf("experiments: scale mismatch: baseline %g vs candidate %g", old.Scale, new.Scale)
+	}
+	c := &BenchComparison{}
+	if old.TotalSecs > 0 {
+		c.OldTput = old.TotalMinst / old.TotalSecs
+	}
+	if new.TotalSecs > 0 {
+		c.NewTput = new.TotalMinst / new.TotalSecs
+	}
+	if c.OldTput > 0 {
+		c.Delta = c.NewTput/c.OldTput - 1
+	}
+	newByName := make(map[string]BenchEntry, len(new.Workloads))
+	for _, e := range new.Workloads {
+		newByName[e.Workload] = e
+	}
+	for _, oe := range old.Workloads {
+		row := CompareRow{Workload: oe.Workload, OldMinst: oe.MinstPerSec}
+		if ne, ok := newByName[oe.Workload]; ok {
+			row.NewMinst = ne.MinstPerSec
+			row.CyclesChanged = ne.Cycles != oe.Cycles
+			if row.OldMinst > 0 {
+				row.Delta = row.NewMinst/row.OldMinst - 1
+			}
+			delete(newByName, oe.Workload)
+		}
+		c.Rows = append(c.Rows, row)
+	}
+	for name, ne := range newByName {
+		c.Rows = append(c.Rows, CompareRow{Workload: name, NewMinst: ne.MinstPerSec})
+	}
+	return c, nil
+}
+
+// Regressed reports whether aggregate throughput dropped by more than
+// tolerance (a fraction, e.g. 0.05 for the 5% gate).
+func (c *BenchComparison) Regressed(tolerance float64) bool {
+	return c.Delta < -tolerance
+}
+
+// Render formats the comparison as the human report the gate prints.
+func (c *BenchComparison) Render(tolerance float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %12s %12s %8s\n", "workload", "old Minst/s", "new Minst/s", "delta")
+	for _, row := range c.Rows {
+		note := ""
+		if row.CyclesChanged {
+			note = "  [cycles changed]"
+		}
+		switch {
+		case row.NewMinst == 0 && row.OldMinst > 0:
+			fmt.Fprintf(&b, "%-12s %12.3f %12s %8s%s\n", row.Workload, row.OldMinst, "-", "gone", note)
+		case row.OldMinst == 0:
+			fmt.Fprintf(&b, "%-12s %12s %12.3f %8s%s\n", row.Workload, "-", row.NewMinst, "new", note)
+		default:
+			fmt.Fprintf(&b, "%-12s %12.3f %12.3f %+7.1f%%%s\n",
+				row.Workload, row.OldMinst, row.NewMinst, row.Delta*100, note)
+		}
+	}
+	fmt.Fprintf(&b, "%-12s %12.3f %12.3f %+7.1f%%  (gate: -%.0f%%)\n",
+		"aggregate", c.OldTput, c.NewTput, c.Delta*100, tolerance*100)
+	if c.Regressed(tolerance) {
+		fmt.Fprintf(&b, "REGRESSION: aggregate throughput dropped %.1f%% (> %.0f%% tolerance)\n",
+			-c.Delta*100, tolerance*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(scale float64, entries ...BenchEntry) *BenchReport {
+	rep := &BenchReport{Schema: BenchSchema, Scale: scale, Config: "(3+2)", Workloads: entries}
+	for _, e := range entries {
+		rep.TotalMinst += float64(e.Committed) / 1e6
+		rep.TotalSecs += e.WallSeconds
+	}
+	return rep
+}
+
+func entry(name string, cycles, committed uint64, secs float64) BenchEntry {
+	return BenchEntry{
+		Workload:    name,
+		Cycles:      cycles,
+		Committed:   committed,
+		WallSeconds: secs,
+		MinstPerSec: float64(committed) / 1e6 / secs,
+	}
+}
+
+func TestReadBenchReport(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	if err := os.WriteFile(good, []byte(`{"schema":"ddbench/v1","scale":0.1,"workloads":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadBenchReport(good)
+	if err != nil {
+		t.Fatalf("good report: %v", err)
+	}
+	if rep.Scale != 0.1 {
+		t.Fatalf("scale = %g", rep.Scale)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"schema":"something/v9"}`), 0o644)
+	if _, err := ReadBenchReport(bad); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("wrong schema: err = %v", err)
+	}
+	os.WriteFile(bad, []byte(`{truncated`), 0o644)
+	if _, err := ReadBenchReport(bad); err == nil {
+		t.Fatal("garbage report parsed")
+	}
+	if _, err := ReadBenchReport(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file read")
+	}
+}
+
+func TestCompareBenchScaleMismatch(t *testing.T) {
+	if _, err := CompareBench(report(0.1), report(0.5)); err == nil {
+		t.Fatal("scale mismatch accepted")
+	}
+}
+
+func TestCompareBenchVerdicts(t *testing.T) {
+	old := report(0.1,
+		entry("li", 1000, 2_000_000, 1.0),  // 2.0 Minst/s
+		entry("gcc", 4000, 4_000_000, 2.0), // 2.0 Minst/s
+		entry("gone", 500, 1_000_000, 1.0),
+	)
+	// Candidate: li 10% slower, gcc same speed but cycles changed, "gone"
+	// missing, "fresh" added.
+	cand := report(0.1,
+		entry("li", 1000, 2_000_000, 1.0/0.9),
+		entry("gcc", 4100, 4_000_000, 2.0),
+		entry("fresh", 300, 600_000, 0.5),
+	)
+	c, err := CompareBench(old, cand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]CompareRow{}
+	for _, r := range c.Rows {
+		rows[r.Workload] = r
+	}
+	if r := rows["li"]; r.Delta > -0.09 || r.Delta < -0.11 || r.CyclesChanged {
+		t.Fatalf("li row = %+v", r)
+	}
+	if r := rows["gcc"]; !r.CyclesChanged || r.Delta != 0 {
+		t.Fatalf("gcc row = %+v", r)
+	}
+	if r := rows["gone"]; r.NewMinst != 0 || r.OldMinst == 0 {
+		t.Fatalf("gone row = %+v", r)
+	}
+	if r := rows["fresh"]; r.OldMinst != 0 || r.NewMinst == 0 {
+		t.Fatalf("fresh row = %+v", r)
+	}
+	if c.OldTput <= 0 || c.NewTput <= 0 {
+		t.Fatalf("aggregate tput = %g / %g", c.OldTput, c.NewTput)
+	}
+
+	out := c.Render(0.05)
+	for _, want := range []string{"li", "gone", "new", "[cycles changed]", "aggregate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegressedGate(t *testing.T) {
+	old := report(0.1, entry("li", 1000, 10_000_000, 1.0)) // 10 Minst/s
+	within := report(0.1, entry("li", 1000, 10_000_000, 1.0/0.96))
+	past := report(0.1, entry("li", 1000, 10_000_000, 1.0/0.90))
+
+	c, err := CompareBench(old, within)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regressed(0.05) {
+		t.Fatalf("4%% drop tripped the 5%% gate: delta = %g", c.Delta)
+	}
+	if c, _ = CompareBench(old, past); !c.Regressed(0.05) {
+		t.Fatalf("10%% drop passed the 5%% gate: delta = %g", c.Delta)
+	}
+	if out := c.Render(0.05); !strings.Contains(out, "REGRESSION") {
+		t.Errorf("regressed render missing REGRESSION line:\n%s", out)
+	}
+	// Speedups never trip the gate.
+	faster := report(0.1, entry("li", 1000, 10_000_000, 0.5))
+	if c, _ = CompareBench(old, faster); c.Regressed(0.05) {
+		t.Fatal("speedup flagged as regression")
+	}
+}

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// cacheSchema versions the on-disk entry format; a mismatch is a miss, so
+// old trees survive schema changes by recomputation, never by failure.
+const cacheSchema = "ddserve-cache/v1"
+
+// cacheEntry is one persisted result. Identity is the full (unhashed) job
+// identity: reads verify it so a hash collision or a file renamed into
+// the wrong slot degrades to a miss instead of serving a wrong result.
+type cacheEntry struct {
+	Schema   string    `json:"schema"`
+	Identity string    `json:"identity"`
+	Result   JobResult `json:"result"`
+}
+
+// diskCache is the persistent result cache, sharded by configuration key:
+// entries live at <dir>/<shard>/<key>.json where shard derives from
+// config.Key() and key from the full job identity. It is tolerant by
+// construction — a corrupt, truncated, alien or unwritable entry is a
+// miss (plus a counter and best-effort removal), never an error: the
+// simulator is the source of truth and the cache only saves work. A nil
+// *diskCache is a valid, always-missing cache.
+type diskCache struct {
+	dir string
+
+	hits, misses, corrupt, writes, writeErrs atomic.Uint64
+}
+
+// newDiskCache opens (creating if needed) the cache rooted at dir; empty
+// dir disables persistence (returns nil).
+func newDiskCache(dir string) (*diskCache, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &diskCache{dir: dir}, nil
+}
+
+func (c *diskCache) path(rj *resolvedJob) string {
+	return filepath.Join(c.dir, rj.shard, rj.key+".json")
+}
+
+// Get returns the cached result for rj, or nil on any kind of miss.
+func (c *diskCache) Get(rj *resolvedJob) *JobResult {
+	if c == nil {
+		return nil
+	}
+	path := c.path(rj)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		c.misses.Add(1)
+		return nil
+	}
+	var e cacheEntry
+	if json.Unmarshal(data, &e) != nil || e.Schema != cacheSchema || e.Identity != rj.identity {
+		// Corrupt, truncated, or aliased entry: recompute instead of
+		// failing, and clear the slot so it heals on the next Put.
+		c.corrupt.Add(1)
+		c.misses.Add(1)
+		os.Remove(path)
+		return nil
+	}
+	c.hits.Add(1)
+	res := e.Result
+	res.Cached = true
+	return &res
+}
+
+// Put persists res for rj. Failures are counted and swallowed: a broken
+// disk degrades the service to cache-less operation, it does not take
+// jobs down with it. The write is atomic (temp file + rename), so a
+// crash mid-write leaves either the old entry or none — a reader can see
+// a torn entry only through outside interference, and Get absorbs that.
+func (c *diskCache) Put(rj *resolvedJob, res *JobResult) {
+	if c == nil {
+		return
+	}
+	stored := *res
+	stored.Cached = false // a hit marks itself at read time
+	shardDir := filepath.Join(c.dir, rj.shard)
+	if err := os.MkdirAll(shardDir, 0o755); err != nil {
+		c.writeErrs.Add(1)
+		return
+	}
+	tmp, err := os.CreateTemp(shardDir, rj.key+".tmp*")
+	if err != nil {
+		c.writeErrs.Add(1)
+		return
+	}
+	enc := json.NewEncoder(tmp)
+	encErr := enc.Encode(cacheEntry{Schema: cacheSchema, Identity: rj.identity, Result: stored})
+	closeErr := tmp.Close()
+	if encErr != nil || closeErr != nil {
+		os.Remove(tmp.Name())
+		c.writeErrs.Add(1)
+		return
+	}
+	if err := os.Rename(tmp.Name(), c.path(rj)); err != nil {
+		os.Remove(tmp.Name())
+		c.writeErrs.Add(1)
+		return
+	}
+	c.writes.Add(1)
+}
+
+// cacheStats is the cache's contribution to /statz.
+type cacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Corrupt   uint64 `json:"corrupt"`
+	Writes    uint64 `json:"writes"`
+	WriteErrs uint64 `json:"write_errors"`
+}
+
+func (c *diskCache) stats() cacheStats {
+	if c == nil {
+		return cacheStats{}
+	}
+	return cacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Corrupt:   c.corrupt.Load(),
+		Writes:    c.writes.Load(),
+		WriteErrs: c.writeErrs.Load(),
+	}
+}

@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func cacheFixtures(t *testing.T) (*diskCache, *resolvedJob) {
+	t.Helper()
+	c, err := newDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rj := &resolvedJob{
+		identity: "w:li@0.1/strip=false|(3+2)",
+		key:      "0123456789abcdef0123456789abcdef",
+		shard:    "ab",
+	}
+	return c, rj
+}
+
+func sampleResult() *JobResult {
+	return &JobResult{Schema: ResultSchema, Name: "li", Config: "(3+2)", Cycles: 4242, Committed: 1000}
+}
+
+func TestDiskCacheRoundTrip(t *testing.T) {
+	c, rj := cacheFixtures(t)
+	if got := c.Get(rj); got != nil {
+		t.Fatalf("cold get = %+v, want miss", got)
+	}
+	c.Put(rj, sampleResult())
+	got := c.Get(rj)
+	if got == nil {
+		t.Fatal("get after put missed")
+	}
+	if !got.Cached {
+		t.Fatal("hit not marked Cached")
+	}
+	if got.Cycles != 4242 || got.Name != "li" {
+		t.Fatalf("hit payload = %+v", got)
+	}
+	s := c.stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Writes != 1 || s.Corrupt != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDiskCacheNilIsAlwaysMiss(t *testing.T) {
+	var c *diskCache
+	_, rj := cacheFixtures(t)
+	if got := c.Get(rj); got != nil {
+		t.Fatal("nil cache returned a hit")
+	}
+	c.Put(rj, sampleResult()) // must not panic
+	if s := c.stats(); s != (cacheStats{}) {
+		t.Fatalf("nil cache stats = %+v", s)
+	}
+}
+
+// corruptionCases enumerates the byte-level failure modes Get must absorb
+// as counted misses: truncation, garbage, a wrong schema tag, and an
+// entry aliased into the wrong slot (identity mismatch).
+func TestDiskCacheCorruptEntriesAreMisses(t *testing.T) {
+	cases := []struct {
+		name    string
+		content func(c *diskCache, rj *resolvedJob) []byte
+	}{
+		{"truncated", func(c *diskCache, rj *resolvedJob) []byte {
+			c.Put(rj, sampleResult())
+			data, err := os.ReadFile(c.path(rj))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return data[:len(data)/2]
+		}},
+		{"garbage", func(*diskCache, *resolvedJob) []byte {
+			return []byte("\x00\xffnot json at all")
+		}},
+		{"wrong-schema", func(*diskCache, *resolvedJob) []byte {
+			return []byte(`{"schema":"ddserve-cache/v999","identity":"w:li@0.1/strip=false|(3+2)","result":{}}`)
+		}},
+		{"identity-mismatch", func(*diskCache, *resolvedJob) []byte {
+			return []byte(`{"schema":"` + cacheSchema + `","identity":"w:other@1/strip=false|(2+0)","result":{}}`)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, rj := cacheFixtures(t)
+			data := tc.content(c, rj)
+			if err := os.MkdirAll(filepath.Dir(c.path(rj)), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(c.path(rj), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if got := c.Get(rj); got != nil {
+				t.Fatalf("corrupt entry served as hit: %+v", got)
+			}
+			if s := c.stats(); s.Corrupt != 1 {
+				t.Fatalf("stats after corrupt read = %+v", s)
+			}
+			if _, err := os.Stat(c.path(rj)); !os.IsNotExist(err) {
+				t.Fatalf("corrupt entry not cleared: stat err = %v", err)
+			}
+			// The slot heals: a fresh Put then Get round-trips.
+			c.Put(rj, sampleResult())
+			if got := c.Get(rj); got == nil || got.Cycles != 4242 {
+				t.Fatalf("healed get = %+v", got)
+			}
+		})
+	}
+}
+
+func TestDiskCachePutIsAtomicOnDisk(t *testing.T) {
+	c, rj := cacheFixtures(t)
+	c.Put(rj, sampleResult())
+	// No temp droppings: exactly the final entry exists in the shard.
+	entries, err := os.ReadDir(filepath.Join(c.dir, rj.shard))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != rj.key+".json" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("shard contents = %v", names)
+	}
+}
+
+func TestDiskCacheWriteErrorsAreSwallowed(t *testing.T) {
+	c, rj := cacheFixtures(t)
+	// Make the shard path unusable by planting a file where the shard
+	// directory should go: MkdirAll fails, Put must degrade silently.
+	if err := os.WriteFile(filepath.Join(c.dir, rj.shard), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c.Put(rj, sampleResult())
+	if s := c.stats(); s.WriteErrs != 1 || s.Writes != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}

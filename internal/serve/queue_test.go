@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func qjob(client string) *job {
+	return &job{client: client, done: make(chan struct{})}
+}
+
+func TestQueueAdmissionErrors(t *testing.T) {
+	q := newQueue(3, 2)
+	if err := q.Push(qjob("a")); err != nil {
+		t.Fatalf("push 1: %v", err)
+	}
+	if err := q.Push(qjob("a")); err != nil {
+		t.Fatalf("push 2: %v", err)
+	}
+	if err := q.Push(qjob("a")); !errors.Is(err, ErrClientLimit) {
+		t.Fatalf("per-client overflow: got %v, want ErrClientLimit", err)
+	}
+	if err := q.Push(qjob("b")); err != nil {
+		t.Fatalf("push b: %v", err)
+	}
+	if err := q.Push(qjob("c")); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("depth overflow: got %v, want ErrQueueFull", err)
+	}
+	q.Close()
+	if err := q.Push(qjob("d")); !errors.Is(err, ErrDraining) {
+		t.Fatalf("closed: got %v, want ErrDraining", err)
+	}
+}
+
+func TestQueueRoundRobinFairness(t *testing.T) {
+	// A greedy client queues its full allowance before a second client
+	// shows up; dequeue order must still interleave, not serve the greedy
+	// backlog first.
+	q := newQueue(16, 8)
+	for i := 0; i < 4; i++ {
+		if err := q.Push(qjob("greedy")); err != nil {
+			t.Fatalf("greedy push %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := q.Push(qjob("polite")); err != nil {
+			t.Fatalf("polite push %d: %v", i, err)
+		}
+	}
+	var order []string
+	for i := 0; i < 6; i++ {
+		j, ok := q.Pop()
+		if !ok {
+			t.Fatalf("pop %d: queue reported closed", i)
+		}
+		order = append(order, j.client)
+	}
+	want := []string{"greedy", "polite", "greedy", "polite", "greedy", "greedy"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("dequeue order = %v, want %v", order, want)
+	}
+	if q.Depth() != 0 {
+		t.Fatalf("depth = %d after draining", q.Depth())
+	}
+}
+
+func TestQueueCloseDrainsRemainingWork(t *testing.T) {
+	q := newQueue(8, 8)
+	q.Push(qjob("a"))
+	q.Push(qjob("a"))
+	q.Close()
+	for i := 0; i < 2; i++ {
+		if _, ok := q.Pop(); !ok {
+			t.Fatalf("pop %d: admitted job dropped by Close", i)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop on empty closed queue: ok = true")
+	}
+}
+
+func TestQueueCloseWakesBlockedPops(t *testing.T) {
+	q := newQueue(8, 8)
+	const waiters = 4
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if j, ok := q.Pop(); ok || j != nil {
+				t.Errorf("blocked pop returned (%v, %v) after Close", j, ok)
+			}
+		}()
+	}
+	q.Close()
+	wg.Wait()
+}
+
+// TestQueueConcurrentStress hammers Push/Pop from many goroutines; run
+// under -race it is the queue's data-race check, and the accounting
+// asserts no job is lost or duplicated.
+func TestQueueConcurrentStress(t *testing.T) {
+	q := newQueue(64, 16)
+	const (
+		producers = 8
+		perProd   = 200
+		consumers = 4
+	)
+	var popped sync.Map
+	var consumed sync.WaitGroup
+	for i := 0; i < consumers; i++ {
+		consumed.Add(1)
+		go func() {
+			defer consumed.Done()
+			for {
+				j, ok := q.Pop()
+				if !ok {
+					return
+				}
+				if _, dup := popped.LoadOrStore(j, true); dup {
+					t.Error("job popped twice")
+				}
+			}
+		}()
+	}
+
+	var produced sync.WaitGroup
+	var admitted, shed sync.Map
+	for p := 0; p < producers; p++ {
+		produced.Add(1)
+		go func(p int) {
+			defer produced.Done()
+			client := fmt.Sprintf("c%d", p%3) // contend on a few client IDs
+			n, s := 0, 0
+			for i := 0; i < perProd; i++ {
+				err := q.Push(qjob(client))
+				switch {
+				case err == nil:
+					n++
+				case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClientLimit):
+					s++
+				default:
+					t.Errorf("unexpected push error: %v", err)
+				}
+			}
+			admitted.Store(p, n)
+			shed.Store(p, s)
+		}(p)
+	}
+	produced.Wait()
+	q.Close()
+	consumed.Wait()
+
+	total, lost := 0, 0
+	admitted.Range(func(_, v any) bool { total += v.(int); return true })
+	shed.Range(func(_, v any) bool { lost += v.(int); return true })
+	got := 0
+	popped.Range(func(_, _ any) bool { got++; return true })
+	if got != total {
+		t.Fatalf("popped %d jobs, admitted %d (shed %d)", got, total, lost)
+	}
+	if total+lost != producers*perProd {
+		t.Fatalf("admitted %d + shed %d != pushed %d", total, lost, producers*perProd)
+	}
+}
