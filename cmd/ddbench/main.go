@@ -19,7 +19,13 @@
 // -compare reads a committed ddbench/v1 baseline and exits 1 when
 // aggregate Minst/s dropped by more than -tolerance (default 5%) in the
 // candidate (-comparewith file, or a fresh benchmark at the baseline's
-// scale). Changed deterministic cycle counts are flagged per workload.
+// scale). Changed deterministic cycle counts are flagged per workload;
+// with -cyclecheck any such change also fails the gate, which is how CI
+// asserts the tick and event engines simulate the identical machine.
+//
+// -engine selects the run loop (event cycle skipping by default, tick for
+// the per-cycle reference); -cpuprofile, -memprofile and -trace capture
+// pprof/trace artifacts of the invocation.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/cliutil"
+	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
@@ -42,9 +49,23 @@ func main() {
 		compare = flag.String("compare", "", "baseline ddbench/v1 report: compare and gate regressions instead of running experiments")
 		against = flag.String("comparewith", "", "candidate report for -compare (empty = run a fresh benchmark at the baseline's scale)")
 		tol     = flag.Float64("tolerance", 0.05, "allowed fractional aggregate Minst/s drop for -compare")
+		cycheck = flag.Bool("cyclecheck", false, "with -compare: also fail when any workload's deterministic cycle count changed")
+		reps    = flag.Int("reps", 1, "with -json: repetitions per workload, fastest kept (noise floor for snapshots)")
 	)
 	budget := cliutil.RegisterBudget(flag.CommandLine)
+	engineFlag := cliutil.RegisterEngine(flag.CommandLine)
+	profiles := cliutil.RegisterProfiles(flag.CommandLine)
 	flag.Parse()
+
+	engine, err := core.ParseEngine(*engineFlag)
+	if err != nil {
+		cliutil.FatalSim("ddbench", err)
+	}
+	stopProfiles, err := profiles.Start()
+	if err != nil {
+		cliutil.FatalSim("ddbench", err)
+	}
+	defer stopProfiles()
 
 	if *list {
 		for _, e := range experiments.AllExperiments() {
@@ -54,12 +75,13 @@ func main() {
 	}
 
 	if *compare != "" {
-		runCompare(*compare, *against, *tol)
-		return
+		code := runCompare(*compare, *against, *tol, *cycheck, engine)
+		stopProfiles()
+		os.Exit(code)
 	}
 
 	if *bench {
-		rep, err := experiments.Bench(*scale)
+		rep, err := experiments.BenchEngineReps(*scale, engine, *reps)
 		if err != nil {
 			cliutil.FatalSim("ddbench", err)
 		}
@@ -74,6 +96,7 @@ func main() {
 		r.Progress = os.Stderr
 	}
 	r.RunOpts = budget.RunOptions()
+	r.RunOpts.Engine = engine
 
 	var selected []experiments.Experiment
 	if *exp == "all" {
@@ -100,9 +123,11 @@ func main() {
 	}
 }
 
-// runCompare executes the perf-regression gate: exit 0 within tolerance,
-// exit 1 on a regression (the report itself goes to stdout either way).
-func runCompare(baselinePath, candidatePath string, tolerance float64) {
+// runCompare executes the perf-regression gate and returns the exit code:
+// 0 within tolerance, 1 on a regression or (under cyclecheck) on any
+// deterministic cycle-count difference. The report goes to stdout either
+// way.
+func runCompare(baselinePath, candidatePath string, tolerance float64, cyclecheck bool, engine core.Engine) int {
 	baseline, err := experiments.ReadBenchReport(baselinePath)
 	if err != nil {
 		cliutil.FatalSim("ddbench", err)
@@ -114,7 +139,7 @@ func runCompare(baselinePath, candidatePath string, tolerance float64) {
 		}
 	} else {
 		fmt.Fprintf(os.Stderr, "ddbench: benchmarking fresh candidate at scale %g\n", baseline.Scale)
-		if candidate, err = experiments.Bench(baseline.Scale); err != nil {
+		if candidate, err = experiments.BenchEngine(baseline.Scale, engine); err != nil {
 			cliutil.FatalSim("ddbench", err)
 		}
 	}
@@ -124,6 +149,11 @@ func runCompare(baselinePath, candidatePath string, tolerance float64) {
 	}
 	fmt.Print(cmp.Render(tolerance))
 	if cmp.Regressed(tolerance) {
-		os.Exit(1)
+		return 1
 	}
+	if cyclecheck && cmp.AnyCyclesChanged() {
+		fmt.Println("CYCLE MISMATCH: deterministic cycle counts differ between the reports")
+		return 1
+	}
+	return 0
 }

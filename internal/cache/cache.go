@@ -264,6 +264,21 @@ func (c *Cache) Access(now uint64, addr uint32, write bool) (uint64, bool) {
 	return fillReady, true
 }
 
+// NextFillDone returns the earliest cycle strictly after now at which an
+// outstanding fill completes, or 0 when none is in flight. The
+// event-driven engine registers it as a wake when an access is rejected
+// with all MSHRs busy: the rejection can only resolve once a fill
+// completes and frees one.
+func (c *Cache) NextFillDone(now uint64) uint64 {
+	var next uint64
+	for _, t := range c.inflight {
+		if t > now && (next == 0 || t < next) {
+			next = t
+		}
+	}
+	return next
+}
+
 // Probe reports whether addr is resident (valid tag match) without
 // touching LRU state or statistics.
 func (c *Cache) Probe(addr uint32) bool {

@@ -31,11 +31,21 @@ import (
 	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/memsys"
+	"repro/internal/sched"
 	"repro/internal/tlb"
 )
 
 // uop is one in-flight instruction (an RUU entry).
 type uop struct {
+	// The issue walk's gate quartet leads the struct so that skipping a
+	// not-yet-eligible entry touches a single cache line: the list link,
+	// the dispatch cycle, the count of in-flight producers, and the
+	// operand-arrival bound (see the wakeup-push block below).
+	issueNext    *uop
+	dispatchedAt uint64
+	depsPending  int8
+	issueWake    uint64
+
 	seq   uint64
 	ef    emu.Effect
 	class isa.Class
@@ -46,10 +56,15 @@ type uop struct {
 	// value.
 	dep [2]*uop
 
-	dispatchedAt uint64
-	issued       bool // has consumed its issue slot (agen for memory ops)
-	completed    bool // result computed / store ready to commit
-	readyAt      uint64
+	// refs counts consumers still holding this uop in their dep slots;
+	// dead marks a committed (or squashed) uop whose recycling into the
+	// free pool is deferred until the last consumer releases it.
+	refs int32
+	dead bool
+
+	issued    bool // has consumed its issue slot (agen for memory ops)
+	completed bool // result computed / store ready to commit
+	readyAt   uint64
 
 	// Memory state.
 	isMem, isLoad bool
@@ -86,6 +101,125 @@ type uop struct {
 	issuedAt      uint64
 	combined      bool
 	fastForwarded bool
+
+	// Fast-forward scan memo (tryFastForward): ffState caches the last
+	// scan's outcome, valid while the stream's structure generation
+	// (Core.qGen) still equals ffGen. ffCand is the matched store whose
+	// value the load is waiting on in the ffWaiting state.
+	ffState uint8
+	ffGen   uint64
+	ffCand  *uop
+
+	// Order-scan memo (processLoad): the §3.1 scan's verdict, valid under
+	// the same generation guard. osCand is the store the verdict hinges
+	// on — the unresolved store blocking the load (osStallAddr), the
+	// matched store whose value is awaited (osFwdWait), or the partially
+	// overlapping store being waited out (osPartial).
+	osState uint8
+	osGen   uint64
+	osCand  *uop
+
+	// Backward link and membership flag of the not-yet-issued list
+	// (issueStage); the forward link leads the struct. The list holds
+	// every ROB entry that is neither issued nor completed, in program
+	// order.
+	issuePrev *uop
+	inIssueQ  bool
+
+	// Intrusive links of the per-stream pending-access lists
+	// (processStream): for each stream whose queue holds this entry and
+	// for which pendingAccess is still true, the neighbours in program
+	// order. A dual-steered access is linked in both its streams.
+	pendNext, pendPrev [coreStreams]*uop
+	inPend             [coreStreams]bool
+
+	// memWake lets the pending-access walk skip a load whose every
+	// memory-stage visit is provably a no-op until this cycle: a
+	// pre-address load with no bypass upside (fast forwarding disabled,
+	// or a generation-valid ffBlocked memo) does nothing until its own
+	// address generation. Zero means awake; memSleepAgen means asleep
+	// until the entry's own issue rewrites the bound to addrAt. Every
+	// structure-generation bump wakes the whole stream (wakeStream),
+	// because the bound was derived from a memo the bump invalidates.
+	memWake uint64
+
+	// Dependence wakeup (issueStage): rather than re-polling its
+	// producers every cycle, a consumer counts the incomplete producers
+	// gating its issue (depsPending) and carries the latest known
+	// operand-arrival bound (issueWake); each producer records its
+	// waiting consumers and pushes its readyAt once, at completion.
+	// Stale records — a squashed consumer's slot, a recycled entry — are
+	// filtered at push time by the (allocGen, dep-slot) validity check,
+	// so squash paths never have to edit waiter lists.
+	waiters  []waitRef
+	allocGen uint32
+}
+
+// waitRef names one registered wait: consumer w's dep slot, valid only
+// while w is still the same allocation and the slot still holds the
+// producer.
+type waitRef struct {
+	w    *uop
+	gen  uint32
+	slot uint8
+}
+
+// coreStreams is the most streams a core ever builds: the conventional
+// LSQ plus, on a decoupled machine, the LVAQ (config.Streams). Hot
+// per-uop and per-core arrays are sized by it rather than the roomier
+// memsys.MaxStreams so the dispatch-rate uop reset and the per-cycle
+// walks touch less memory; core.New enforces the bound.
+const coreStreams = 2
+
+// Fast-forward memo states.
+const (
+	ffNone    uint8 = iota // no cached scan; do the full walk
+	ffBlocked              // scan concluded "no bypass" for structural reasons
+	ffWaiting              // matched store found; waiting for its value
+)
+
+// memSleepAgen is the memWake bound of an entry asleep until its own
+// address generation: no fixed cycle is known yet, so the entry's issue
+// (which computes addrAt) rewrites the bound. memSleepPush marks an
+// entry asleep until an external delivery — a producer's completion
+// push or a forwarding store's value transition — clears or rewrites
+// the bound.
+const (
+	memSleepAgen = ^uint64(0)
+	memSleepPush = ^uint64(0) - 1
+)
+
+// wrSlotStoreValue marks a waitRef registered by a store against its
+// data producer: delivery rewrites the store's memory-stage sleep bound
+// (memWake) instead of the issue gate, because a store's data operand
+// never gates its issue — only its completion.
+const wrSlotStoreValue = 2
+
+// wrSlotFwdValue marks a waitRef registered by a load against the store
+// it would forward from (ffWaiting / osFwdWait): the store's value-known
+// transition clears the load's sleep bound. The store is older than the
+// load and therefore earlier in the same stream's pending walk, so the
+// wake always lands in the same cycle a per-cycle poll would have fired.
+const wrSlotFwdValue = 3
+
+// Order-scan memo states.
+const (
+	osNone      uint8 = iota // no cached scan; do the full walk
+	osStallAddr              // blocked on osCand's unknown address
+	osFwdWait                // forwarding from osCand once its value is ready
+	osPartial                // waiting for partially-overlapping osCand to drain
+	osClear                  // scan passed: go straight to the port/cache
+)
+
+// pendingAccess reports whether the entry still has memory-stage work:
+// a store whose operands are not yet complete, or a load that has not
+// obtained its data. Entries for which this is false are inert in
+// processStream's walk.
+func (u *uop) pendingAccess() bool {
+	if u.isLoad {
+		return !u.accessDone
+	}
+	return !u.completed
 }
 
 // QueueNode implements memsys.Entry.
@@ -157,15 +291,6 @@ func (u *uop) accessedFast() bool {
 	return u.fwdFrom != nil && u.fastForwarded
 }
 
-func (u *uop) depsReady(now uint64) bool {
-	for _, d := range u.dep {
-		if d != nil && (!d.completed || d.readyAt > now) {
-			return false
-		}
-	}
-	return true
-}
-
 func (u *uop) overlaps(v *uop) bool {
 	a0, a1 := u.ef.Addr, u.ef.Addr+uint32(u.ef.Bytes)
 	b0, b1 := v.ef.Addr, v.ef.Addr+uint32(v.ef.Bytes)
@@ -194,7 +319,58 @@ type Core struct {
 	now uint64
 	seq uint64
 
-	rob []*uop // in program order; rob[0] is the commit head
+	// rob is the reorder buffer as a preallocated power-of-two ring;
+	// position 0 (robAt(0)) is the commit head. A ring rather than a
+	// sliding slice so the steady-state hot loop never reallocates.
+	rob     []*uop
+	robHead int
+	robN    int
+
+	// robOccSynced is the last cycle folded into stats.ROBOccupancy (lazy
+	// interval accumulation; the legacy sample point is the end of the
+	// cycle, so mutations sync through now-1 and the result flushes
+	// through the final cycle).
+	robOccSynced uint64
+
+	// freeUops recycles retired RUU entries; together with the rings it
+	// keeps the steady-state dispatch/replay path allocation-free.
+	freeUops []*uop
+
+	// issueHead/issueTail hold the not-yet-issued ROB entries in program
+	// order (an intrusive doubly-linked list), so issueStage walks only
+	// the entries that can still consume an issue slot instead of the
+	// whole ROB ring.
+	issueHead, issueTail *uop
+
+	// qGen is a per-stream structure generation: bumped on any queue
+	// mutation that can change a cached scan verdict (squash, mid-queue
+	// remove/transfer, dual resolution). A uop's cached scan results
+	// (ffState, osState) are valid only while its stream's generation is
+	// unchanged. Head retires deliberately do NOT bump it: removing the
+	// oldest entry can only delete potential blockers or matches below a
+	// scan's stopping point, never add one, so a negative verdict stays
+	// negative — and the two positive-wait verdicts are retire-proof
+	// (an unresolved or value-less store cannot commit, and a forwarding
+	// match completes no earlier than the cycle its consumer load
+	// forwards from it). The one verdict that waits FOR a retire,
+	// osPartial, carries an explicit queue-liveness check instead.
+	qGen [coreStreams]uint64
+
+	// pendHead/pendTail hold, per stream, the queued entries with
+	// memory-stage work left (pendingAccess), in program order.
+	// processStream walks only these — an entry with its access done is
+	// inert in the memory stage by construction.
+	pendHead, pendTail [coreStreams]*uop
+
+	// sched collects future wake cycles (fill completions, agen latency,
+	// recovery-stall expiry, MSHR frees) for the event-driven engine;
+	// progressed is set by any state transition during the current cycle
+	// and cleared by the run loop. A cycle that ends with progressed false
+	// changed nothing but per-cycle stall counters, which is what licenses
+	// skipping ahead (DESIGN.md §12).
+	sched      sched.Sched
+	progressed bool
+	stallSnap  stallSnapshot
 
 	// renameTable maps each architectural register to its most recent
 	// in-flight producer.
@@ -236,13 +412,318 @@ type Core struct {
 	lastCommitCycle uint64
 
 	dispatchStallUntil uint64
-	fetchDone          bool        // emulator halted or instruction budget reached
-	pending            *emu.Effect // dispatch held back by a full queue
+	fetchDone          bool // emulator halted or instruction budget reached
+	// pending is the effect held back by a full queue (hasPending gates
+	// it; a value rather than a pointer so re-parking never allocates).
+	pending    emu.Effect
+	hasPending bool
 	// replay holds the effects of squashed (wrong-stream recovery)
-	// instructions awaiting re-dispatch; the emulator is never re-run.
-	replay []emu.Effect
+	// instructions awaiting re-dispatch, as a ring deque (squash prepends
+	// a batch, dispatch pops the front); the emulator is never re-run.
+	replay     []emu.Effect
+	replayHead int
+	replayN    int
 
 	stats Stats
+}
+
+// ---------------------------------------------------------- ROB ring
+
+func (c *Core) robLen() int { return c.robN }
+
+func (c *Core) robAt(i int) *uop { return c.rob[(c.robHead+i)&(len(c.rob)-1)] }
+
+func (c *Core) robPush(u *uop) {
+	c.syncROBOcc()
+	if c.robN == len(c.rob) {
+		// Dispatch is bounded by ROBSize, so a full ring should be
+		// unreachable; guard anyway rather than corrupt the window.
+		nb := make([]*uop, 2*len(c.rob))
+		for i := 0; i < c.robN; i++ {
+			nb[i] = c.robAt(i)
+		}
+		c.rob, c.robHead = nb, 0
+	}
+	c.rob[(c.robHead+c.robN)&(len(c.rob)-1)] = u
+	c.robN++
+}
+
+func (c *Core) robPopHead() *uop {
+	c.syncROBOcc()
+	u := c.rob[c.robHead]
+	c.rob[c.robHead] = nil
+	c.robHead = (c.robHead + 1) & (len(c.rob) - 1)
+	c.robN--
+	return u
+}
+
+// robTruncate drops every entry at position >= n (the squashed suffix).
+func (c *Core) robTruncate(n int) {
+	c.syncROBOcc()
+	mask := len(c.rob) - 1
+	for i := n; i < c.robN; i++ {
+		c.rob[(c.robHead+i)&mask] = nil
+	}
+	c.robN = n
+}
+
+// syncROBOcc folds the cycles since the last ROB length change into the
+// occupancy integral. The legacy per-cycle sample point is the end of the
+// cycle, so a mutation during cycle now accumulates through now-1 at the
+// old length; the current cycle itself is folded in by the next mutation
+// (or the final flush) at the post-mutation length.
+func (c *Core) syncROBOcc() {
+	if c.now > 0 && c.now-1 > c.robOccSynced {
+		c.stats.ROBOccupancy += (c.now - 1 - c.robOccSynced) * uint64(c.robN)
+		c.robOccSynced = c.now - 1
+	}
+}
+
+// flushROBOcc completes the integral through the final cycle; called once
+// when the result is built.
+func (c *Core) flushROBOcc() {
+	if c.now > c.robOccSynced {
+		c.stats.ROBOccupancy += (c.now - c.robOccSynced) * uint64(c.robN)
+		c.robOccSynced = c.now
+	}
+}
+
+// ------------------------------------------------------- replay deque
+
+func (c *Core) replayPopFront() emu.Effect {
+	ef := c.replay[c.replayHead]
+	c.replayHead = (c.replayHead + 1) & (len(c.replay) - 1)
+	c.replayN--
+	return ef
+}
+
+func (c *Core) replayPushFront(ef emu.Effect) {
+	if c.replayN == len(c.replay) {
+		c.growReplay()
+	}
+	c.replayHead = (c.replayHead - 1) & (len(c.replay) - 1)
+	c.replay[c.replayHead] = ef
+	c.replayN++
+}
+
+func (c *Core) growReplay() {
+	nb := make([]emu.Effect, 2*len(c.replay))
+	for i := 0; i < c.replayN; i++ {
+		nb[i] = c.replay[(c.replayHead+i)&(len(c.replay)-1)]
+	}
+	c.replay, c.replayHead = nb, 0
+}
+
+// --------------------------------------------------------- uop pool
+
+// allocUop returns a zeroed RUU entry, recycling retired ones. The
+// allocation generation survives (incremented) so waitRefs against the
+// previous life are recognizably stale, and the waiter slab is kept to
+// stay allocation-free in steady state.
+func (c *Core) allocUop() *uop {
+	if n := len(c.freeUops); n > 0 {
+		u := c.freeUops[n-1]
+		c.freeUops = c.freeUops[:n-1]
+		gen, w := u.allocGen, u.waiters
+		*u = uop{}
+		u.allocGen, u.waiters = gen+1, w[:0]
+		return u
+	}
+	return new(uop)
+}
+
+// watch registers u's interest in dep slot's producer for issue gating.
+// A producer that has already completed contributes only its (immutable)
+// readyAt bound; an in-flight one gets a waiter record and will push the
+// bound at its completion transition.
+func (c *Core) watch(u *uop, slot int) {
+	d := u.dep[slot]
+	if d == nil {
+		return
+	}
+	if d.completed {
+		if d.readyAt > u.issueWake {
+			u.issueWake = d.readyAt
+		}
+		return
+	}
+	d.waiters = append(d.waiters, waitRef{u, u.allocGen, uint8(slot)})
+	u.depsPending++
+}
+
+// watchStoreValue registers store u's interest in its data producer for
+// the memory-stage sleep bound: an in-flight producer will push its
+// readyAt at completion (wrSlotStoreValue), letting updateStore sleep
+// instead of polling. A producer already complete needs no record — the
+// poll reads its immutable readyAt as a bound directly.
+func (c *Core) watchStoreValue(u *uop) {
+	if d := u.dep[1]; d != nil && !d.completed {
+		d.waiters = append(d.waiters, waitRef{u, u.allocGen, wrSlotStoreValue})
+	}
+}
+
+// watchFwdValue registers load u's interest in store st's value-known
+// transition (wrSlotFwdValue). Registrations are never canceled — stale
+// ones are filtered by allocGen at delivery, and a spurious wake only
+// costs one poll.
+func (c *Core) watchFwdValue(u, st *uop) {
+	st.waiters = append(st.waiters, waitRef{u, u.allocGen, wrSlotFwdValue})
+}
+
+// pushReady is called exactly once, at p's completion transition, to
+// deliver p.readyAt to every consumer still waiting on it. After this,
+// p.completed is sticky and new consumers read the bound directly in
+// watch, so the drained list never refills.
+func (c *Core) pushReady(p *uop) {
+	for _, wr := range p.waiters {
+		w := wr.w
+		if wr.slot == wrSlotStoreValue {
+			// Store data-value bound: the store wakes exactly when the
+			// operand it polls for becomes observable.
+			if w.allocGen == wr.gen && w.dep[1] == p {
+				w.memWake = p.readyAt
+			}
+			continue
+		}
+		if w.allocGen != wr.gen || w.dep[wr.slot] != p {
+			continue // consumer squashed, recycled, or slot released
+		}
+		w.depsPending--
+		if p.readyAt > w.issueWake {
+			w.issueWake = p.readyAt
+		}
+	}
+	p.waiters = p.waiters[:0]
+}
+
+// wakeFwdWaiters is called at a store's value-known transition: every
+// load registered to forward from it resumes memory-stage visits this
+// cycle. Registrations only happen while the value is pending, so the
+// transition drains the list for good. Waking is always safe; only
+// sleeping needs justification.
+func (c *Core) wakeFwdWaiters(u *uop) {
+	if len(u.waiters) == 0 {
+		return
+	}
+	for _, wr := range u.waiters {
+		if wr.w.allocGen == wr.gen {
+			wr.w.memWake = 0
+		}
+	}
+	u.waiters = u.waiters[:0]
+}
+
+// recycleUop returns a uop that has left the pipeline (committed or
+// squashed) to the pool — immediately if no consumer still holds it in a
+// dep slot, otherwise when the last consumer releases it.
+func (c *Core) recycleUop(u *uop) {
+	c.issueUnlink(u)
+	if u.refs == 0 {
+		c.freeUops = append(c.freeUops, u)
+	} else {
+		u.dead = true
+	}
+}
+
+// issuePush appends a freshly-dispatched entry to the not-yet-issued
+// list; dispatch order is program order, so the list stays sorted.
+func (c *Core) issuePush(u *uop) {
+	u.inIssueQ = true
+	u.issuePrev = c.issueTail
+	if c.issueTail != nil {
+		c.issueTail.issueNext = u
+	} else {
+		c.issueHead = u
+	}
+	c.issueTail = u
+}
+
+// issueUnlink removes an entry from the not-yet-issued list (on issue, on
+// completion without issue — a fast-forwarded load — or when the entry
+// leaves the pipeline). Idempotent.
+func (c *Core) issueUnlink(u *uop) {
+	if !u.inIssueQ {
+		return
+	}
+	u.inIssueQ = false
+	if u.issuePrev != nil {
+		u.issuePrev.issueNext = u.issueNext
+	} else {
+		c.issueHead = u.issueNext
+	}
+	if u.issueNext != nil {
+		u.issueNext.issuePrev = u.issuePrev
+	} else {
+		c.issueTail = u.issuePrev
+	}
+	u.issueNext, u.issuePrev = nil, nil
+}
+
+// pendPush appends u to stream id's pending list. Entries are pushed in
+// dispatch (= program) order; the one out-of-order arrival — a misroute
+// transfer — is the youngest entry in the machine by the time it moves
+// (everything younger was just squashed), so a tail append is always
+// ordered.
+func (c *Core) pendPush(id int, u *uop) {
+	u.inPend[id] = true
+	u.pendPrev[id] = c.pendTail[id]
+	if c.pendTail[id] != nil {
+		c.pendTail[id].pendNext[id] = u
+	} else {
+		c.pendHead[id] = u
+	}
+	c.pendTail[id] = u
+}
+
+// pendUnlink removes u from stream id's pending list. Idempotent.
+func (c *Core) pendUnlink(id int, u *uop) {
+	if !u.inPend[id] {
+		return
+	}
+	u.inPend[id] = false
+	if u.pendPrev[id] != nil {
+		u.pendPrev[id].pendNext[id] = u.pendNext[id]
+	} else {
+		c.pendHead[id] = u.pendNext[id]
+	}
+	if u.pendNext[id] != nil {
+		u.pendNext[id].pendPrev[id] = u.pendPrev[id]
+	} else {
+		c.pendTail[id] = u.pendPrev[id]
+	}
+	u.pendNext[id], u.pendPrev[id] = nil, nil
+}
+
+// pendDrop unlinks u from every stream's pending list (both copies of a
+// dual-steered entry). Callers invoke it exactly when u stops being
+// pending: on the completion transition, or when a still-pending entry
+// is removed by a squash.
+func (c *Core) pendDrop(u *uop) {
+	for id := range u.inPend {
+		c.pendUnlink(id, u)
+	}
+}
+
+// wakeStream clears the sleep bound of every entry still pending in
+// stream id. Called wherever the stream's structure generation is
+// bumped: the bump invalidates the fast-forward memo a sleeping load's
+// bound was justified by, so the load must resume per-cycle visits (its
+// next one re-runs the scan). Bumps are recovery events — misroutes,
+// dual-steering kills, squashes — so the walk is off the hot path.
+func (c *Core) wakeStream(id int) {
+	for u := c.pendHead[id]; u != nil; u = u.pendNext[id] {
+		u.memWake = 0
+	}
+}
+
+// releaseDep is called by a consumer when it drops a producer from its dep
+// slots (the operand was observed ready, or the consumer was squashed).
+func (c *Core) releaseDep(d *uop) {
+	d.refs--
+	if d.refs == 0 && d.dead {
+		d.dead = false
+		c.freeUops = append(c.freeUops, d)
+	}
 }
 
 // New builds a core for the given program and configuration.
@@ -250,16 +731,40 @@ func New(prog *asm.Program, cfg config.Config) (*Core, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	robCap := 16
+	for robCap < cfg.ROBSize {
+		robCap <<= 1
+	}
 	c := &Core{
 		cfg:             cfg,
 		emu:             emu.New(prog),
 		mem:             &cache.MainMemory{Name: "mem", Latency: cfg.MemLatency},
 		regionPredictor: make(map[uint32]bool),
+		rob:             make([]*uop, robCap),
+		replay:          make([]emu.Effect, 16),
+		freeUops:        make([]*uop, 0, 3*cfg.ROBSize),
+		// Wake population is bounded by a few registrations per in-flight
+		// instruction plus per-stream MSHR wakes; oversize the slab so the
+		// hot loop never grows it.
+		sched: *sched.New(4*cfg.ROBSize + 64),
 	}
 	c.l2 = cache.New(cache.Config{
 		Name: "L2", SizeBytes: cfg.L2.SizeBytes, LineBytes: cfg.L2.LineBytes,
 		Assoc: cfg.L2.Assoc, HitLatency: cfg.L2.HitLatency, MSHRs: 64,
 	}, c.mem)
+	// Seed the pool from one contiguous slab: the intrusive walks
+	// (issue list, pending-access lists) chase pointers across live
+	// entries every cycle, and a compact arena keeps those loads inside
+	// a few pages instead of scattered heap allocations. The population
+	// is the ROB plus retired producers still held in dep slots; the
+	// pool falls back to the heap if it ever runs dry.
+	slab := make([]uop, 3*cfg.ROBSize)
+	for i := len(slab) - 1; i >= 0; i-- {
+		c.freeUops = append(c.freeUops, &slab[i])
+	}
+	if len(cfg.Streams()) > coreStreams {
+		return nil, errors.New("core: config builds more streams than the core supports")
+	}
 	for id, spec := range cfg.Streams() {
 		sc := cache.New(cache.Config{
 			Name: streamCacheName(spec), SizeBytes: spec.Cache.SizeBytes,
@@ -322,5 +827,5 @@ func (c *Core) route(local bool) int {
 var ErrBudget = errors.New("core: cycle budget exhausted")
 
 func (c *Core) done() bool {
-	return c.fetchDone && len(c.rob) == 0
+	return c.fetchDone && c.robN == 0
 }

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/config"
+	"repro/internal/simerr"
+	"repro/internal/workload"
+)
+
+// runEngine builds a fresh core for (workload, cfg) and runs it on the
+// given engine. Each engine gets its own core: the comparison is between
+// two complete simulations of the same machine.
+func runEngine(t *testing.T, name string, scale float64, cfg config.Config, e Engine) (*Result, error) {
+	t.Helper()
+	w, err := workload.ByName(name)
+	if err != nil {
+		t.Fatalf("workload %s: %v", name, err)
+	}
+	c, err := New(w.Program(scale), cfg)
+	if err != nil {
+		t.Fatalf("New(%s): %v", name, err)
+	}
+	return c.RunWith(context.Background(), RunOptions{Engine: e})
+}
+
+// TestEngineIdentityAllWorkloads is the differential harness for the
+// event-driven engine: on every workload, for a spread of machine
+// configurations (unified, decoupled, decoupled with both §2.2.2
+// optimizations), the event engine must produce a Result that is
+// bit-identical to the tick engine's — cycles, every stall counter, every
+// occupancy integral, every cache statistic.
+func TestEngineIdentityAllWorkloads(t *testing.T) {
+	configs := []struct {
+		name string
+		cfg  config.Config
+	}{
+		{"unified(4+0)", config.Default().WithPorts(4, 0)},
+		{"decoupled(3+2)", config.Default().WithPorts(3, 2)},
+		{"optimized(3+2)", config.Default().WithPorts(3, 2).WithOptimizations(2)},
+	}
+	scale := 0.02
+	for _, w := range workload.All() {
+		for _, tc := range configs {
+			t.Run(w.Name+"/"+tc.name, func(t *testing.T) {
+				t.Parallel()
+				tick, terr := runEngine(t, w.Name, scale, tc.cfg, EngineTick)
+				event, eerr := runEngine(t, w.Name, scale, tc.cfg, EngineEvent)
+				if terr != nil || eerr != nil {
+					t.Fatalf("run errors: tick=%v event=%v", terr, eerr)
+				}
+				assertResultsIdentical(t, tick, event)
+			})
+		}
+	}
+}
+
+// TestEngineIdentitySteeringVariants covers the recovery-heavy paths
+// (misroute squash/replay, dual-steering kill, speculative steering) where
+// wake bookkeeping is hardest to get right.
+func TestEngineIdentitySteeringVariants(t *testing.T) {
+	for _, steering := range []config.SteeringPolicy{
+		config.SteerSP, config.SteerDual, config.SteerStatic, config.SteerSpec,
+	} {
+		cfg := config.Default().WithPorts(3, 2).WithOptimizations(2)
+		cfg.Steering = steering
+		t.Run(steering.String(), func(t *testing.T) {
+			t.Parallel()
+			for _, name := range []string{"li", "go", "swim"} {
+				tick, terr := runEngine(t, name, 0.02, cfg, EngineTick)
+				event, eerr := runEngine(t, name, 0.02, cfg, EngineEvent)
+				if terr != nil || eerr != nil {
+					t.Fatalf("%s: run errors: tick=%v event=%v", name, terr, eerr)
+				}
+				assertResultsIdentical(t, tick, event)
+			}
+		})
+	}
+}
+
+// TestEngineIdentityExamples runs every shipped examples/asm program
+// (including the deliberately-broken badhint.s — a bad hint still
+// simulates, it just misroutes) under both engines on the paper's
+// optimized machine and on a unified one.
+func TestEngineIdentityExamples(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "asm")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := []config.Config{
+		config.Default().WithPorts(4, 0),
+		config.Default().WithPorts(3, 2).WithOptimizations(2),
+	}
+	for _, ent := range entries {
+		if filepath.Ext(ent.Name()) != ".s" {
+			continue
+		}
+		path := filepath.Join(dir, ent.Name())
+		t.Run(ent.Name(), func(t *testing.T) {
+			t.Parallel()
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := asm.Assemble(ent.Name(), string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, cfg := range configs {
+				var results [2]*Result
+				for i, e := range []Engine{EngineTick, EngineEvent} {
+					c, err := New(prog, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if results[i], err = c.RunWith(context.Background(), RunOptions{Engine: e}); err != nil {
+						t.Fatalf("%s engine %v: %v", cfg.Name(), e, err)
+					}
+				}
+				assertResultsIdentical(t, results[0], results[1])
+			}
+		})
+	}
+}
+
+func assertResultsIdentical(t *testing.T, tick, event *Result) {
+	t.Helper()
+	if reflect.DeepEqual(tick, event) {
+		return
+	}
+	// Pinpoint the divergence for the failure message.
+	if tick.Cycles != event.Cycles {
+		t.Errorf("cycles: tick=%d event=%d", tick.Cycles, event.Cycles)
+	}
+	if tick.Stats != event.Stats {
+		t.Errorf("stats diverge:\n tick:  %+v\n event: %+v", tick.Stats, event.Stats)
+	}
+	for i := range tick.Streams {
+		if i < len(event.Streams) && !reflect.DeepEqual(tick.Streams[i], event.Streams[i]) {
+			t.Errorf("stream %d diverges:\n tick:  %+v\n event: %+v",
+				i, tick.Streams[i], event.Streams[i])
+		}
+	}
+	t.Fatalf("results diverge (L2/mem/TLB/output section):\n tick:  %+v %+v %d/%d\n event: %+v %+v %d/%d",
+		tick.L2, tick.MemReads, tick.TLBHits, tick.TLBMisses,
+		event.L2, event.MemReads, event.TLBHits, event.TLBMisses)
+}
+
+// TestEngineIdentityUnderMaxCycles: an abort boundary must fire on the
+// same cycle with the same snapshot under both engines — the event engine
+// clamps its jumps to land one cycle before the cap so the capped cycle
+// executes for real.
+func TestEngineIdentityUnderMaxCycles(t *testing.T) {
+	cfg := config.Default().WithPorts(3, 2)
+	for _, cap := range []uint64{100, 1000, 5000} {
+		var snaps [2]simerr.Snapshot
+		for i, e := range []Engine{EngineTick, EngineEvent} {
+			w, _ := workload.ByName("swim")
+			c, err := New(w.Program(0.05), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, rerr := c.RunWith(context.Background(), RunOptions{MaxCycles: cap, Engine: e})
+			se, ok := rerr.(*simerr.SimError)
+			if !ok || se.Kind != simerr.KindMaxCycles {
+				t.Fatalf("cap %d engine %v: err = %v, want KindMaxCycles", cap, e, rerr)
+			}
+			snaps[i] = se.Snapshot
+		}
+		if !reflect.DeepEqual(snaps[0], snaps[1]) {
+			t.Errorf("cap %d: abort snapshots diverge:\n tick:  %+v\n event: %+v",
+				cap, snaps[0], snaps[1])
+		}
+	}
+}
+
+// TestWatchdogFiresAcrossSkippedGap: a livelocked pipeline (watchdog
+// window far below any real wake) must abort on exactly the same cycle
+// under both engines even when the event engine's jump would overshoot the
+// watchdog boundary — the clamp lands it one cycle short.
+func TestWatchdogFiresAcrossSkippedGap(t *testing.T) {
+	cfg := config.Default().WithPorts(3, 2)
+	// A tiny watchdog window turns ordinary memory-latency stalls into
+	// "livelock": with MemLatency 50 and MSHR pileups, a 40-cycle window
+	// trips on real workloads, and the event engine skips straight at it.
+	const window = 40
+	var cycles [2]uint64
+	for i, e := range []Engine{EngineTick, EngineEvent} {
+		w, _ := workload.ByName("swim")
+		c, err := New(w.Program(0.05), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, rerr := c.RunWith(context.Background(), RunOptions{WatchdogCycles: window, Engine: e})
+		se, ok := rerr.(*simerr.SimError)
+		if !ok || se.Kind != simerr.KindWatchdog {
+			t.Fatalf("engine %v: err = %v, want KindWatchdog", e, rerr)
+		}
+		cycles[i] = se.Snapshot.Cycle
+	}
+	if cycles[0] != cycles[1] {
+		t.Fatalf("watchdog fired on different cycles: tick=%d event=%d", cycles[0], cycles[1])
+	}
+}
+
+// TestEngineParse pins the flag grammar.
+func TestEngineParse(t *testing.T) {
+	if e, err := ParseEngine("tick"); err != nil || e != EngineTick {
+		t.Fatalf("ParseEngine(tick) = %v, %v", e, err)
+	}
+	if e, err := ParseEngine("event"); err != nil || e != EngineEvent {
+		t.Fatalf("ParseEngine(event) = %v, %v", e, err)
+	}
+	if e, err := ParseEngine(""); err != nil || e != EngineEvent {
+		t.Fatalf("ParseEngine(\"\") = %v, %v", e, err)
+	}
+	if _, err := ParseEngine("warp"); err == nil {
+		t.Fatal("ParseEngine(warp) did not fail")
+	}
+	if EngineEvent.String() != "event" || EngineTick.String() != "tick" {
+		t.Fatal("Engine.String round-trip broken")
+	}
+}

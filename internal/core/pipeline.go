@@ -11,6 +11,17 @@ import (
 // cycle advances the machine one clock. Stages run back to front so that an
 // instruction never flows through more than one stage per cycle: commit,
 // then the memory pipelines, then issue, then fetch/dispatch.
+//
+// Every state *transition* (a commit, an issue, a dispatch, a load
+// completing, an effect leaving the emulator or the replay buffer, a
+// squash) sets c.progressed; a cycle that ends with it clear changed
+// nothing but per-cycle stall counters, and the event-driven engine in
+// run.go may then jump the clock to the next registered wake (the
+// quiescence invariant, DESIGN.md §12). Whenever a stage creates a
+// timestamp more than one cycle in the future (a cache fill, a TLB fill, a
+// multi-cycle functional-unit latency, a recovery stall), it registers a
+// wake; events exactly one cycle ahead need none, because a skip only
+// begins after two consecutive quiescent cycles.
 func (c *Core) cycle() {
 	c.now++
 	if c.fi != nil {
@@ -25,16 +36,32 @@ func (c *Core) cycle() {
 	c.issueStage()
 	c.dispatchStage()
 
+	// Drop wakes the clock has reached. Next is the scheduler's only
+	// shrink path; without this, busy phases (which never ask for the next
+	// event) would accumulate stale wakes without bound.
+	c.sched.Next(c.now)
+
 	c.stats.Cycles = c.now
-	c.stats.ROBOccupancy += uint64(len(c.rob))
+}
+
+// addWake registers a wake for the given cycle if it is far enough away to
+// need one: cycles at now+1 always execute (a skip requires two quiescent
+// cycles first), so only timestamps beyond that are registered.
+func (c *Core) addWake(cycle uint64) {
+	if cycle > c.now+1 {
+		c.sched.Add(cycle)
+	}
 }
 
 // ---------------------------------------------------------------- commit
 
 func (c *Core) commitStage() {
-	for n := 0; n < c.cfg.IssueWidth && len(c.rob) > 0; n++ {
-		u := c.rob[0]
+	for n := 0; n < c.cfg.IssueWidth && c.robN > 0; n++ {
+		u := c.robAt(0)
 		if !u.completed || u.readyAt > c.now {
+			if u.completed {
+				c.addWake(u.readyAt)
+			}
 			break
 		}
 		if u.isMem && c.fi != nil && len(c.streams) > 1 && c.fi.CommitDesync(u.seq) {
@@ -54,23 +81,50 @@ func (c *Core) commitStage() {
 			if status != memsys.CommitOK {
 				// Port or MSHR stall: retry next cycle. On an MSHR
 				// stall the port stays consumed, as it would in
-				// hardware.
+				// hardware — and the stall holds until a fill frees an
+				// MSHR, so that completion is the next wake.
+				if status == memsys.CommitMSHRStall {
+					if w := c.streams[u.stream].NextWake(c.now); w > 0 {
+						c.addWake(w)
+					}
+				}
 				break
 			}
 			u.combined = u.combined || combined
 		}
-		c.rob = c.rob[1:]
+		c.progressed = true
+		c.robPopHead()
 		if u.isMem {
-			c.streams[u.stream].Retire(u)
+			c.streams[u.stream].Retire(c.now, u)
+		}
+		// The committed value is architectural now; producer() would
+		// answer nil anyway, so drop the rename-table self reference to
+		// let the entry recycle.
+		if dest, ok := u.ef.Inst.Dest(); ok && c.renameTable[dest] == u {
+			c.renameTable[dest] = nil
+		}
+		// Release any producers still held (a fast-forwarded load
+		// completes without ever issuing, so its base-register dep is
+		// still in place).
+		for j, d := range u.dep {
+			if d != nil {
+				u.dep[j] = nil
+				c.releaseDep(d)
+			}
 		}
 		c.emitTrace(u, c.now, false)
+		c.recycleUop(u)
 		c.stats.Committed++
 		if c.cfg.MaxInsts > 0 && c.stats.Committed >= c.cfg.MaxInsts {
 			c.fetchDone = true
-			c.rob = c.rob[:0]
+			c.robTruncate(0)
 			for _, s := range c.streams {
-				s.Drain()
+				s.Drain(c.now)
+				c.pendHead[s.ID], c.pendTail[s.ID] = nil, nil
 			}
+			c.issueHead, c.issueTail = nil, nil
+			// Every outstanding wake belonged to the drained pipeline.
+			c.sched.Reset()
 			return
 		}
 	}
@@ -82,23 +136,31 @@ func (c *Core) memoryStage() {
 	for _, s := range c.streams {
 		c.processStream(s)
 	}
-	for _, s := range c.streams {
-		s.TickOccupancy()
-	}
 }
 
+// processStream walks one stream's pending-access list: exactly the
+// queued entries with memory-stage work left (stores not yet completed,
+// loads not yet past the cache), in program order. An entry whose access
+// is done is inert in this stage — skipping it changes nothing — and the
+// §3.1 order scans below still inspect the full queue window through the
+// ring, so the abbreviated walk is observation-equivalent to visiting
+// every entry.
 func (c *Core) processStream(s *memsys.Stream) {
-	s.Process(func(pos int, e memsys.Entry) {
-		u := e.(*uop)
-		if !u.isLoad {
+	for u := c.pendHead[s.ID]; u != nil; {
+		// Processing u can only unlink u itself, so the successor is
+		// stable across the body.
+		next := u.pendNext[s.ID]
+		if u.memWake > c.now {
+			u = next
+			continue
+		}
+		if u.isLoad {
+			c.processLoad(s, u)
+		} else {
 			c.updateStore(u)
-			return
 		}
-		if u.accessDone {
-			return
-		}
-		c.processLoad(s, pos, u)
-	})
+		u = next
+	}
 }
 
 // updateStore tracks a store's operand readiness; a store is "completed"
@@ -111,29 +173,109 @@ func (c *Core) updateStore(u *uop) {
 		d := u.dep[1]
 		if d == nil {
 			u.valueKnown, u.valueAt = true, u.dispatchedAt
+			c.progressed = true
+			c.wakeFwdWaiters(u)
 		} else if d.completed && d.readyAt <= c.now {
 			u.valueKnown, u.valueAt = true, d.readyAt
+			u.dep[1] = nil
+			c.releaseDep(d)
+			c.progressed = true
+			c.wakeFwdWaiters(u)
+		} else if d.completed {
+			// Arrival bound known from the producer's immutable readyAt:
+			// sleep until then.
+			u.memWake = d.readyAt
+			return
+		} else {
+			// In-flight producer: its completion push (wrSlotStoreValue,
+			// registered at dispatch) rewrites the bound.
+			u.memWake = memSleepPush
+			return
 		}
 	}
-	if u.valueKnown && u.addrKnown && u.addrAt <= c.now {
+	if u.addrKnown && u.addrAt <= c.now {
 		u.completed = true
 		u.readyAt = max(u.addrAt, u.valueAt)
+		c.progressed = true
+		c.pendDrop(u)
+		return
+	}
+	// Value in hand, address pending: sleep until the store's own issue
+	// computes it (memSleepAgen is rewritten to addrAt there).
+	if u.addrKnown {
+		u.memWake = u.addrAt
+	} else {
+		u.memWake = memSleepAgen
 	}
 }
 
-func (c *Core) processLoad(s *memsys.Stream, pos int, u *uop) {
+func (c *Core) processLoad(s *memsys.Stream, u *uop) {
 	// Fast data forwarding (§2.2.2): on a fast-forwarding stream, a
 	// store→load pair with the same base register, stack generation and
 	// offset can bypass before either effective address is computed.
-	if s.Spec.FastForward && c.tryFastForward(s, pos, u) {
+	if s.Spec.FastForward && c.tryFastForward(s, u) {
 		return
 	}
 	if !u.addrKnown || u.addrAt > c.now {
+		// Pre-address, every visit is this same no-op unless the bypass
+		// above could fire. With no bypass upside — fast forwarding off,
+		// or a generation-valid "no bypass" verdict — sleep until the
+		// address arrives (the load's own issue sets the bound).
+		if !s.Spec.FastForward || u.ffState == ffBlocked {
+			if u.addrKnown {
+				u.memWake = u.addrAt
+			} else {
+				u.memWake = memSleepAgen
+			}
+		}
 		return
+	}
+
+	// Memoized verdict of the last §3.1 order scan, valid while the
+	// stream's structure generation is unchanged. Every verdict hinges on
+	// facts that are sticky for a fixed queue prefix — a store's address,
+	// once known, stays known; overlap is a function of known addresses —
+	// plus at most one store's evolving readiness, which is rechecked
+	// live. Rerunning the scan could therefore only repeat the verdict.
+	if u.osState != osNone && u.osGen == c.qGen[u.stream] {
+		switch u.osState {
+		case osStallAddr:
+			if st := u.osCand; !st.addrKnown || st.addrAt > c.now {
+				c.stats.LoadOrderStalls++
+				return
+			}
+			// The blocking store resolved: rescan from scratch.
+		case osFwdWait:
+			if st := u.osCand; st.valueKnown && st.valueAt <= c.now {
+				c.forwardLoad(s, u, st)
+			} else {
+				// The registration from the memo set is still pending
+				// (it drains exactly at the transition we are waiting
+				// for), so sleeping until its delivery is safe.
+				u.memWake = memSleepPush
+			}
+			return
+		case osPartial:
+			if s.Queue.Contains(u.osCand) {
+				c.stats.PartialOverlapStalls++
+				return
+			}
+			// The overlapping store drained at commit: rescan. (The
+			// liveness probe is safe against recycling — a retired store
+			// leaves the queue before its uop can recycle, and re-entry
+			// into this queue cannot happen before the dispatch stage,
+			// which runs after this one.)
+		case osClear:
+			c.loadAccess(s, s.Queue.IndexOf(u), u)
+			return
+		}
 	}
 
 	// A load may proceed only when the addresses of all previous stores
 	// in its stream are known (paper §3.1, applied per stream §2.1).
+	// Only the scan paths need the queue position, so it is resolved
+	// this late: the memoized waits above get by without it.
+	pos := s.Queue.IndexOf(u)
 	var match *uop
 	for j := pos - 1; j >= 0; j-- {
 		st := s.Queue.At(j).(*uop)
@@ -141,6 +283,7 @@ func (c *Core) processLoad(s *memsys.Stream, pos int, u *uop) {
 			continue
 		}
 		if !st.addrKnown || st.addrAt > c.now {
+			u.osState, u.osGen, u.osCand = osStallAddr, c.qGen[u.stream], st
 			c.stats.LoadOrderStalls++
 			return
 		}
@@ -153,33 +296,67 @@ func (c *Core) processLoad(s *memsys.Stream, pos int, u *uop) {
 		if match.sameAccess(u) {
 			// Store-to-load forwarding inside the stream: 1 cycle, no
 			// cache access, no port.
+			u.osState, u.osGen, u.osCand = osFwdWait, c.qGen[u.stream], match
 			if match.valueKnown && match.valueAt <= c.now {
-				u.readyAt = c.now + 1
-				u.completed, u.accessDone = true, true
-				u.fwdFrom = match
-				s.Stats.FwdLoads++
+				c.forwardLoad(s, u, match)
+			} else {
+				// Sleep until the match's value transition: the match is
+				// older, hence earlier in this walk, so the wake lands
+				// the same cycle a poll would have forwarded.
+				c.watchFwdValue(u, match)
+				u.memWake = memSleepPush
 			}
 			return
 		}
 		// Partially overlapping store: wait until it commits and drains
 		// from the stream, then access the cache.
+		u.osState, u.osGen, u.osCand = osPartial, c.qGen[u.stream], match
 		c.stats.PartialOverlapStalls++
 		return
 	}
+	u.osState, u.osGen = osClear, c.qGen[u.stream]
+	c.loadAccess(s, pos, u)
+}
 
+// forwardLoad completes a load by in-stream store-to-load forwarding
+// from match (paper §3.1): 1 cycle, no cache access, no port.
+func (c *Core) forwardLoad(s *memsys.Stream, u, match *uop) {
+	u.readyAt = c.now + 1
+	u.completed, u.accessDone = true, true
+	u.fwdFrom = match
+	s.Stats.FwdLoads++
+	c.progressed = true
+	c.pendDrop(u)
+	c.pushReady(u)
+}
+
+// loadAccess sends an order-clear load to its stream's port arbiter and
+// cache. Port and MSHR stalls retry here every cycle — arbitration and
+// combining are per-cycle state, so only the scan above is memoizable.
+func (c *Core) loadAccess(s *memsys.Stream, pos int, u *uop) {
 	granted, combined := s.Grant(pos, u.ef.Addr, true, u.combineGroup)
 	if !granted {
 		s.Stats.LoadPortStalls++
 		return
 	}
-	u.combined = u.combined || combined
+	if combined && !u.combined {
+		u.combined = true
+		c.progressed = true
+	}
 	ready, ok := s.Cache.Access(c.now, u.ef.Addr, false)
 	if !ok {
 		s.Stats.LoadMSHRStalls++
+		if w := s.NextWake(c.now); w > 0 {
+			c.addWake(w)
+		}
 		return
 	}
 	u.readyAt = ready
 	u.completed, u.accessDone = true, true
+	c.progressed = true
+	c.pendDrop(u)
+	c.pushReady(u)
+	c.addWake(ready)
 }
 
 // tryFastForward implements the offset-based bypass on a fast-forwarding
@@ -187,11 +364,35 @@ func (c *Core) processLoad(s *memsys.Stream, pos int, u *uop) {
 // to the normal path) at any frame-generation boundary or at any store
 // whose offset is unknown (non-$sp/$fp base), because such a store might
 // alias the load.
-func (c *Core) tryFastForward(s *memsys.Stream, pos int, u *uop) bool {
+func (c *Core) tryFastForward(s *memsys.Stream, u *uop) bool {
 	if u.accessDone {
 		return true
 	}
+	// Memoized outcome of the last full scan, valid while the stream's
+	// structure is unchanged. Everything the scan inspects besides the
+	// matched store's value readiness is immutable for a fixed queue
+	// prefix (base registers, offsets, stack generations; a store's dual
+	// flag and the prefix itself are covered by the generation bump), so
+	// re-running the walk can only repeat the cached verdict.
+	if u.ffState != ffNone && u.ffGen == c.qGen[u.stream] {
+		if u.ffState == ffBlocked {
+			return false
+		}
+		if st := u.ffCand; st.valueKnown && st.valueAt <= c.now {
+			c.fastForward(s, u, st)
+			return true
+		}
+		// Pre-address there is nothing to poll for beyond the candidate's
+		// value (registered at memo set — still pending, or we would have
+		// forwarded above) and the load's own address generation.
+		if !u.addrKnown {
+			u.memWake = memSleepAgen
+		}
+		return false
+	}
+	u.ffState, u.ffCand = ffNone, nil
 	if u.dual || (u.baseReg != isa.RegSP && u.baseReg != isa.RegFP) {
+		u.ffState, u.ffGen = ffBlocked, c.qGen[u.stream]
 		return false
 	}
 	// Under ForwardStatic the bypass only fires for loads with a
@@ -200,43 +401,68 @@ func (c *Core) tryFastForward(s *memsys.Stream, pos int, u *uop) bool {
 	if c.cfg.ForwardStatic {
 		var claimed bool
 		if wantStore, claimed = c.fwdPairs[u.ef.PC]; !claimed {
+			u.ffState, u.ffGen = ffBlocked, c.qGen[u.stream]
 			return false
 		}
 	}
-	for j := pos - 1; j >= 0; j-- {
+	for j := s.Queue.IndexOf(u) - 1; j >= 0; j-- {
 		st := s.Queue.At(j).(*uop)
 		if st.isLoad {
 			continue
 		}
 		if st.dual {
 			// Unresolved ambiguous store: might alias anything.
+			u.ffState, u.ffGen = ffBlocked, c.qGen[u.stream]
 			return false
 		}
 		if st.spGen != u.spGen {
+			u.ffState, u.ffGen = ffBlocked, c.qGen[u.stream]
 			return false
 		}
 		if st.baseReg != isa.RegSP && st.baseReg != isa.RegFP {
+			u.ffState, u.ffGen = ffBlocked, c.qGen[u.stream]
 			return false
 		}
 		if st.baseReg == u.baseReg && st.ef.Inst.Imm == u.ef.Inst.Imm {
 			if st.ef.Bytes != u.ef.Bytes {
+				u.ffState, u.ffGen = ffBlocked, c.qGen[u.stream]
 				return false
 			}
 			if c.cfg.ForwardStatic && st.ef.PC != wantStore {
+				u.ffState, u.ffGen = ffBlocked, c.qGen[u.stream]
 				return false
 			}
 			if st.valueKnown && st.valueAt <= c.now {
-				u.readyAt = c.now + 1
-				u.completed, u.accessDone = true, true
-				u.fwdFrom = st
-				u.fastForwarded = true
-				s.Stats.FastFwdLoads++
+				c.fastForward(s, u, st)
 				return true
 			}
-			return false // right store, data not yet ready
+			// Right store, data not yet ready: recheck just it until the
+			// queue changes shape. The store's value transition wakes us,
+			// so a pre-address load can sleep meanwhile (once the address
+			// is known the normal path below may have work every cycle).
+			u.ffState, u.ffGen, u.ffCand = ffWaiting, c.qGen[u.stream], st
+			c.watchFwdValue(u, st)
+			if !u.addrKnown {
+				u.memWake = memSleepAgen
+			}
+			return false
 		}
 	}
+	u.ffState, u.ffGen = ffBlocked, c.qGen[u.stream]
 	return false
+}
+
+// fastForward completes a load via the §2.2.2 offset bypass from store st.
+func (c *Core) fastForward(s *memsys.Stream, u, st *uop) {
+	u.readyAt = c.now + 1
+	u.completed, u.accessDone = true, true
+	u.fwdFrom = st
+	u.fastForwarded = true
+	s.Stats.FastFwdLoads++
+	c.progressed = true
+	c.issueUnlink(u)
+	c.pendDrop(u)
+	c.pushReady(u)
 }
 
 // ---------------------------------------------------------------- issue
@@ -246,38 +472,68 @@ func (c *Core) issueStage() {
 	intALU, fpALU := c.cfg.IntALUs, c.cfg.FPALUs
 	intMD, fpMD := c.cfg.IntMulDiv, c.cfg.FPMulDiv
 
-	for _, u := range c.rob {
+	// The list holds exactly the ROB entries that are neither issued nor
+	// completed (both sticky until an entry leaves the ROB), in program
+	// order — the same candidates, in the same priority, as a scan of the
+	// whole ring.
+	for u := c.issueHead; u != nil; {
 		if budget == 0 {
 			break
 		}
-		if u.issued || u.completed || u.dispatchedAt >= c.now {
+		next := u.issueNext
+		// The list is in dispatch order, so dispatchedAt is nondecreasing
+		// along it: the first entry dispatched this cycle ends the walk —
+		// everything younger was dispatched this cycle too.
+		if u.dispatchedAt >= c.now {
+			break
+		}
+		// The wakeup push keeps depsPending/issueWake current, so a
+		// waiting entry costs one line of its own struct here instead of
+		// a walk of its producers: depsPending == 0 with issueWake in
+		// the past is exactly "every operand observed ready".
+		if u.depsPending > 0 || u.issueWake > c.now {
+			u = next
 			continue
 		}
 		if u.isMem {
-			// Address generation: needs the base register operand.
-			if d := u.dep[0]; d != nil && (!d.completed || d.readyAt > c.now) {
-				continue
+			// Address generation: the base register operand (the only
+			// issue-gating dep of a memory access) has arrived.
+			if d := u.dep[0]; d != nil {
+				u.dep[0] = nil
+				c.releaseDep(d)
 			}
 			u.issued = true
 			u.issuedAt = c.now
+			c.issueUnlink(u)
 			budget--
 			u.addrKnown = true
 			u.addrAt = c.now + 1
+			c.progressed = true
 			if c.annotTLB != nil {
 				// Verification must wait for the annotation (§2.1).
 				if _, ready := c.annotTLB.Lookup(c.now, u.ef.Addr); ready > c.now {
 					u.addrAt = ready + 1
 					c.stats.TLBMissStalls++
+					c.addWake(u.addrAt)
 				}
+			}
+			if u.memWake == memSleepAgen {
+				// The memory stage put this load to sleep pending its own
+				// address generation; the concrete bound exists now.
+				u.memWake = u.addrAt
 			}
 			if c.checkSteering(u); u.misrouted {
 				// The squash invalidated the window we are iterating.
 				break
 			}
+			u = next
 			continue
 		}
-		if !u.depsReady(c.now) {
-			continue
+		for i, d := range u.dep {
+			if d != nil {
+				u.dep[i] = nil
+				c.releaseDep(d)
+			}
 		}
 		var fu *int
 		switch u.class {
@@ -292,15 +548,21 @@ func (c *Core) issueStage() {
 		}
 		if *fu == 0 {
 			c.stats.FUStalls++
+			u = next
 			continue
 		}
 		*fu--
 		budget--
 		u.issued = true
 		u.issuedAt = c.now
+		c.issueUnlink(u)
 		u.completed = true
 		u.readyAt = c.now + config.Latency(u.class)
+		c.progressed = true
+		c.pushReady(u)
+		c.addWake(u.readyAt)
 		c.stats.Issued++
+		u = next
 	}
 }
 
@@ -312,7 +574,7 @@ func (c *Core) dispatchStage() {
 		return
 	}
 	for n := 0; n < c.cfg.IssueWidth && !c.fetchDone; n++ {
-		if len(c.rob) >= c.cfg.ROBSize {
+		if c.robN >= c.cfg.ROBSize {
 			c.stats.ROBFullStalls++
 			return
 		}
@@ -336,19 +598,19 @@ func (c *Core) dispatchStage() {
 			target = c.route(local)
 			if c.streamFull(target) || (dual && c.streamFull(c.route(!local))) {
 				// Hold the effect for the next cycle.
-				c.pending = &ef
+				c.pending, c.hasPending = ef, true
 				c.stats.QueueFullStalls++
 				return
 			}
 		}
 
-		u := &uop{
-			seq:          c.seq,
-			ef:           ef,
-			class:        in.Op.Info().Class,
-			dispatchedAt: c.now,
-		}
+		u := c.allocUop()
+		u.seq = c.seq
+		u.ef = ef
+		u.class = in.Op.Info().Class
+		u.dispatchedAt = c.now
 		c.seq++
+		c.progressed = true
 
 		// Rename the source operands.
 		if in.IsMem() {
@@ -382,6 +644,18 @@ func (c *Core) dispatchStage() {
 			}
 		}
 
+		// Register the issue-gating waits: the base register for a
+		// memory access, both operands otherwise. A store's data operand
+		// (dep[1]) does not gate issue — the memory stage polls it.
+		c.watch(u, 0)
+		if !u.isMem {
+			c.watch(u, 1)
+		} else if !u.isLoad {
+			// A store's data operand never gates issue, but its arrival
+			// bound lets the memory stage sleep instead of polling.
+			c.watchStoreValue(u)
+		}
+
 		// Rename the destination and advance the stack generation when
 		// $sp or $fp is redefined.
 		if dest, hasDest := in.Dest(); hasDest {
@@ -392,7 +666,8 @@ func (c *Core) dispatchStage() {
 		}
 		u.spGenAfter = c.spGen
 
-		c.rob = append(c.rob, u)
+		c.robPush(u)
+		c.issuePush(u)
 		if u.isMem {
 			if u.isLoad {
 				c.stats.Loads++
@@ -406,18 +681,20 @@ func (c *Core) dispatchStage() {
 					c.stats.LocalStores++
 				}
 			}
-			c.streams[target].Dispatch(u)
+			c.streams[target].Dispatch(c.now, u)
+			c.pendPush(target, u)
 			if dual {
 				// The shadow copy occupies the other stream until the
 				// address resolves.
-				c.streams[c.route(!local)].Insert(u)
+				c.streams[c.route(!local)].Insert(c.now, u)
+				c.pendPush(c.route(!local), u)
 				c.stats.DualInserted++
 			}
 		}
 
 		// Fetch is finished only when the emulator has halted AND no
 		// squashed effects remain to replay.
-		if c.emu.Halted && len(c.replay) == 0 && c.pending == nil {
+		if c.emu.Halted && c.replayN == 0 && !c.hasPending {
 			c.fetchDone = true
 		}
 		if c.cfg.MaxInsts > 0 && c.seq >= c.cfg.MaxInsts {
@@ -439,7 +716,8 @@ func (c *Core) streamFull(id int) bool {
 
 // producer returns the in-flight producer of r, or nil when the
 // architectural value is already available. Reads of the hardwired zero
-// register are always ready.
+// register are always ready. A non-nil producer is reference-counted: the
+// consumer must release it (releaseDep) when it drops the dep slot.
 func (c *Core) producer(r isa.Reg) *uop {
 	if r == isa.RegZero {
 		return nil
@@ -448,6 +726,7 @@ func (c *Core) producer(r isa.Reg) *uop {
 	if p == nil || (p.completed && p.readyAt <= c.now) {
 		return nil
 	}
+	p.refs++
 	return p
 }
 
@@ -460,22 +739,29 @@ func (c *Core) producer(r isa.Reg) *uop {
 // it. Popping replay first would dispatch out of program order — and, if
 // the popped effect stalled too, overwrite pending and silently drop the
 // older effect.
+//
+// Progress accounting: re-examining the parked pending effect moves no
+// state (a re-park leaves the machine exactly as it was), but popping the
+// replay buffer, stepping the emulator, or discovering the end of fetch
+// all transition state and mark the cycle non-quiescent.
 func (c *Core) nextEffect() (emu.Effect, bool) {
-	if c.pending != nil {
-		ef := *c.pending
-		c.pending = nil
-		return ef, true
+	if c.hasPending {
+		c.hasPending = false
+		return c.pending, true
 	}
-	if len(c.replay) > 0 {
-		ef := c.replay[0]
-		c.replay = c.replay[1:]
-		return ef, true
+	if c.replayN > 0 {
+		c.progressed = true
+		return c.replayPopFront(), true
 	}
 	if c.emu.Halted {
+		if !c.fetchDone {
+			c.progressed = true
+		}
 		c.fetchDone = true
 		return emu.Effect{}, false
 	}
 	ef, err := c.emu.Step()
+	c.progressed = true
 	if err != nil {
 		c.fetchDone = true
 		c.stats.FetchError = err
@@ -593,7 +879,13 @@ func (c *Core) checkSteering(u *uop) {
 			c.streams[u.stream].Stats.Dispatched--
 			c.streams[right].Stats.Dispatched++
 		}
-		c.streams[c.route(!local)].Remove(u)
+		wrong := c.route(!local)
+		c.pendUnlink(wrong, u)
+		c.streams[wrong].Remove(c.now, u)
+		c.qGen[wrong]++
+		c.qGen[right]++
+		c.wakeStream(wrong)
+		c.wakeStream(right)
 		u.stream = right
 		u.dual = false
 		return
@@ -613,10 +905,22 @@ func (c *Core) checkSteering(u *uop) {
 	// front end for the refill penalty. The squashed instructions replay
 	// from their recorded effects.
 	c.squashYounger(u)
-	memsys.Transfer(c.streams[u.stream], c.streams[right], u)
+	if u.pendingAccess() {
+		// squashYounger just removed everything younger than u, so u is
+		// the youngest access in the machine: the tail append keeps the
+		// destination list in program order.
+		c.pendUnlink(u.stream, u)
+		c.pendPush(right, u)
+	}
+	memsys.Transfer(c.now, c.streams[u.stream], c.streams[right], u)
+	c.qGen[u.stream]++
+	c.qGen[right]++
+	c.wakeStream(u.stream)
+	c.wakeStream(right)
 	u.stream = right
 	if until := c.now + c.cfg.RecoveryPenalty; until > c.dispatchStallUntil {
 		c.dispatchStallUntil = until
+		c.addWake(until)
 	}
 }
 
@@ -624,21 +928,24 @@ func (c *Core) checkSteering(u *uop) {
 // and schedules its effect for re-dispatch.
 func (c *Core) squashYounger(u *uop) {
 	idx := -1
-	for i, v := range c.rob {
-		if v == u {
+	for i := 0; i < c.robN; i++ {
+		if c.robAt(i) == u {
 			idx = i
 			break
 		}
 	}
-	if idx < 0 || idx == len(c.rob)-1 {
+	if idx < 0 || idx == c.robN-1 {
 		// u is the youngest (or already gone): nothing to squash, but a
 		// queue-full pending effect is younger and stays pending.
 		return
 	}
-	squashed := c.rob[idx+1:]
-	effs := make([]emu.Effect, 0, len(squashed)+1+len(c.replay))
-	for _, v := range squashed {
+	c.progressed = true
+	for i := idx + 1; i < c.robN; i++ {
+		v := c.robAt(i)
 		if v.isMem {
+			if v.pendingAccess() {
+				c.pendDrop(v)
+			}
 			if v.isLoad {
 				c.stats.Loads--
 			} else {
@@ -653,35 +960,57 @@ func (c *Core) squashYounger(u *uop) {
 			}
 			c.streams[v.stream].Stats.Dispatched--
 		}
-		effs = append(effs, v.ef)
 		c.emitTrace(v, 0, true)
 		c.stats.Squashed++
 	}
-	c.rob = c.rob[:idx+1]
-	for _, s := range c.streams {
-		s.Squash(u.seq)
-	}
-
-	// Rebuild the rename table from the surviving window.
-	for i := range c.renameTable {
-		c.renameTable[i] = nil
-	}
-	for _, v := range c.rob {
-		if dest, ok := v.ef.Inst.Dest(); ok {
-			c.renameTable[dest] = v
-		}
-	}
-	c.spGen = u.spGenAfter
 
 	// Re-dispatch order must be program order: the squashed window is
 	// older than a queue-full pending effect, which in turn is older
 	// than any effects still waiting in the replay buffer (pending is
 	// either a fresh fetch buffered while replay was empty, or the
-	// former front of the replay buffer).
-	if c.pending != nil {
-		effs = append(effs, *c.pending)
-		c.pending = nil
+	// former front of the replay buffer). Build that order by pushing
+	// onto the front of the deque in reverse.
+	if c.hasPending {
+		c.replayPushFront(c.pending)
+		c.hasPending = false
 	}
-	c.replay = append(effs, c.replay...)
+	for i := c.robN - 1; i > idx; i-- {
+		c.replayPushFront(c.robAt(i).ef)
+	}
+
+	for _, s := range c.streams {
+		s.Squash(c.now, u.seq)
+		c.qGen[s.ID]++
+		c.wakeStream(s.ID)
+	}
+
+	// Recycle the squashed entries: first release every dep they hold (a
+	// squashed producer may be referenced by younger squashed consumers),
+	// then return them to the pool.
+	for i := idx + 1; i < c.robN; i++ {
+		v := c.robAt(i)
+		for j, d := range v.dep {
+			if d != nil {
+				v.dep[j] = nil
+				c.releaseDep(d)
+			}
+		}
+	}
+	for i := idx + 1; i < c.robN; i++ {
+		c.recycleUop(c.robAt(i))
+	}
+	c.robTruncate(idx + 1)
+
+	// Rebuild the rename table from the surviving window.
+	for i := range c.renameTable {
+		c.renameTable[i] = nil
+	}
+	for i := 0; i < c.robN; i++ {
+		v := c.robAt(i)
+		if dest, ok := v.ef.Inst.Dest(); ok {
+			c.renameTable[dest] = v
+		}
+	}
+	c.spGen = u.spGenAfter
 	c.fetchDone = false // the replayed effects still need dispatching
 }

@@ -152,7 +152,7 @@ func assertStreamsDrained(t *testing.T, c *Core, ctx string) {
 			t.Fatalf("%s: stream %s finished with occupancy %d, want 0",
 				ctx, s.Spec.Name, occ)
 		}
-		if left := s.Drain(); left != 0 {
+		if left := s.Drain(c.now); left != 0 {
 			t.Fatalf("%s: stream %s drained %d residual entries, want 0",
 				ctx, s.Spec.Name, left)
 		}

@@ -7,6 +7,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"repro/internal/memsys"
 	"repro/internal/simerr"
 )
 
@@ -18,9 +19,54 @@ import (
 // run can never trip it.
 const DefaultWatchdogCycles = 1_000_000
 
-// ctxCheckInterval is how often (in cycles) the run loop polls the context
-// for cancellation; a power of two so the check compiles to a mask.
+// ctxCheckInterval is how often the run loop polls the context for
+// cancellation; a power of two so the check compiles to a mask. The tick
+// engine counts cycles, the event engine counts loop iterations (a skipped
+// gap consumes no wall-clock time, so iterations are the right unit there).
 const ctxCheckInterval = 1 << 10
+
+// cycleSlack is the legacy cycle safety budget: no workload should ever run
+// below 1/100 IPC, so a run is aborted once now > 100*committed + slack.
+const cycleSlack = 1_000_000
+
+// maxSkipChunk bounds one clock jump of the event engine so that a pipeline
+// with no registered wake (e.g. watchdog disabled and livelocked) still
+// returns to the loop to poll the context.
+const maxSkipChunk = 1 << 20
+
+// Engine selects the run loop.
+type Engine uint8
+
+const (
+	// EngineEvent (the default) is the next-event engine: when two
+	// consecutive cycles make no state transition, the clock jumps to the
+	// next registered wake and the per-cycle stall counters are replayed
+	// across the gap. Results are bit-identical to EngineTick (the
+	// quiescence invariant, DESIGN.md §12; asserted by the differential
+	// tests), only faster on stall-dominated workloads.
+	EngineEvent Engine = iota
+	// EngineTick is the classic loop: one cycle() per clock, no skipping.
+	EngineTick
+)
+
+// String returns the flag spelling of e.
+func (e Engine) String() string {
+	if e == EngineTick {
+		return "tick"
+	}
+	return "event"
+}
+
+// ParseEngine parses a -engine flag value.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "event", "":
+		return EngineEvent, nil
+	case "tick":
+		return EngineTick, nil
+	}
+	return EngineEvent, fmt.Errorf("unknown engine %q (want tick or event)", s)
+}
 
 // RunOptions bounds and instruments one simulation run. The zero value
 // reproduces the historical Run() behaviour (no cycle cap, no deadline,
@@ -41,8 +87,13 @@ type RunOptions struct {
 	// DisableWatchdog turns the forward-progress check off entirely.
 	DisableWatchdog bool
 	// Injector, when non-nil, perturbs the run deterministically (see
-	// internal/faultinject). Nil injects nothing and costs nothing.
+	// internal/faultinject). Nil injects nothing and costs nothing. An
+	// armed injector also pins the engine to tick-equivalent behaviour:
+	// BeginCycle must be called once per cycle for a campaign to replay
+	// deterministically, so the event engine never skips while it is set.
 	Injector FaultInjector
+	// Engine selects the run loop; the zero value is EngineEvent.
+	Engine Engine
 }
 
 // FaultInjector is the hook surface a fault-injection campaign drives.
@@ -127,8 +178,16 @@ func (c *Core) RunWith(ctx context.Context, opts RunOptions) (res *Result, err e
 		}
 	}()
 
-	// Legacy safety net: no workload should ever run below 1/100 IPC.
-	const cycleSlack = 1_000_000
+	if opts.Engine == EngineTick {
+		return c.runTick(ctx, opts, watchdog)
+	}
+	return c.runEvent(ctx, opts, watchdog)
+}
+
+// runTick is the classic run loop: one cycle per clock tick, preserved
+// verbatim as the reference the event engine is differentially tested
+// against.
+func (c *Core) runTick(ctx context.Context, opts RunOptions, watchdog uint64) (*Result, error) {
 	lastCommitted, lastProgress := c.stats.Committed, c.now
 	for !c.done() {
 		c.cycle()
@@ -161,6 +220,157 @@ func (c *Core) RunWith(ctx context.Context, opts RunOptions) (res *Result, err e
 	return c.result(), nil
 }
 
+// runEvent is the next-event run loop. It executes cycles exactly like
+// runTick until it has seen two consecutive quiescent cycles — cycles in
+// which no state transition happened (c.progressed stayed false), only
+// per-cycle stall counters moved. The second such cycle is the
+// *representative* cycle: by the quiescence invariant (DESIGN.md §12),
+// every following cycle up to (exclusive) the earliest registered wake is
+// its exact repetition. The engine therefore jumps the clock to one cycle
+// before the next wake and multiplies the representative cycle's counter
+// deltas across the gap; the wake cycle itself executes for real.
+//
+// Every abort boundary clamps the jump to land one cycle *before* it, so
+// the boundary cycle also executes for real and the abort fires with the
+// same cycle number, counters and pipeline snapshot the tick engine would
+// produce. With a fault injector armed the engine never skips (BeginCycle
+// must run every cycle for deterministic replay), making it tick-identical
+// by construction.
+func (c *Core) runEvent(ctx context.Context, opts RunOptions, watchdog uint64) (*Result, error) {
+	lastCommitted, lastProgress := c.stats.Committed, c.now
+	prevQuiet := false
+	var iters uint64
+	for !c.done() {
+		canSkip := prevQuiet && c.fi == nil
+		if canSkip {
+			c.snapStallCounters()
+		}
+		c.progressed = false
+		c.cycle()
+		quiet := !c.progressed
+		if c.stats.Committed != lastCommitted {
+			lastCommitted, lastProgress = c.stats.Committed, c.now
+			c.lastCommitCycle = c.now
+		} else if !opts.DisableWatchdog && c.now-lastProgress >= watchdog {
+			return nil, c.abort(simerr.KindWatchdog,
+				fmt.Sprintf("no instruction committed for %d cycles", watchdog), nil)
+		}
+		if opts.MaxCycles > 0 && c.now >= opts.MaxCycles {
+			return nil, c.abort(simerr.KindMaxCycles,
+				fmt.Sprintf("cycle cap %d reached", opts.MaxCycles), nil)
+		}
+		iters++
+		if iters%ctxCheckInterval == 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				kind := simerr.KindCanceled
+				reason := "run canceled"
+				if errors.Is(cerr, context.DeadlineExceeded) {
+					kind, reason = simerr.KindDeadline, "deadline exceeded"
+				}
+				return nil, c.abort(kind, reason, cerr)
+			}
+		}
+		if c.now > 100*c.stats.Committed+cycleSlack {
+			return nil, c.abort(simerr.KindBudget,
+				"cycle budget exhausted", ErrBudget)
+		}
+
+		if quiet && canSkip {
+			// Land one cycle before the earliest of: the next wake, the
+			// watchdog boundary, the cycle cap, the budget boundary, or
+			// the chunk bound (which keeps the ctx poll live when nothing
+			// else binds).
+			target := c.now + maxSkipChunk
+			if w, ok := c.sched.Next(c.now); ok && w-1 < target {
+				target = w - 1
+			}
+			if !opts.DisableWatchdog {
+				if b := lastProgress + watchdog - 1; b < target {
+					target = b
+				}
+			}
+			if opts.MaxCycles > 0 {
+				if b := opts.MaxCycles - 1; b < target {
+					target = b
+				}
+			}
+			// The budget aborts at the first cycle strictly greater than
+			// 100*committed+slack; landing exactly on the bound makes the
+			// next real cycle the aborting one.
+			if b := 100*c.stats.Committed + cycleSlack; b < target {
+				target = b
+			}
+			if target > c.now {
+				c.skipTo(target)
+			}
+		}
+		prevQuiet = quiet
+	}
+	return c.result(), nil
+}
+
+// stallSnapshot holds the counters that a quiescent cycle may still
+// increment. Everything else the simulator counts only moves on a state
+// transition (which sets c.progressed and forbids skipping), so this set —
+// and only this set — must be replayed across a skipped gap.
+type stallSnapshot struct {
+	loadOrder, partialOverlap, fu, robFull, queueFull, recovery uint64
+	streams                                                     [memsys.MaxStreams]streamStallSnap
+}
+
+type streamStallSnap struct {
+	loadPort, storePort, loadMSHR, storeMSHR, combined, rejected uint64
+}
+
+// snapStallCounters records the pre-cycle values of the quiescent-cycle
+// counters so skipTo can compute what one representative cycle added.
+func (c *Core) snapStallCounters() {
+	s := &c.stallSnap
+	s.loadOrder = c.stats.LoadOrderStalls
+	s.partialOverlap = c.stats.PartialOverlapStalls
+	s.fu = c.stats.FUStalls
+	s.robFull = c.stats.ROBFullStalls
+	s.queueFull = c.stats.QueueFullStalls
+	s.recovery = c.stats.RecoveryStallCycles
+	for i, st := range c.streams {
+		ss := &s.streams[i]
+		ss.loadPort = st.Stats.LoadPortStalls
+		ss.storePort = st.Stats.StorePortStalls
+		ss.loadMSHR = st.Stats.LoadMSHRStalls
+		ss.storeMSHR = st.Stats.StoreMSHRStalls
+		ss.combined = st.Stats.Combined
+		ss.rejected = st.Cache.Stats.Rejected
+	}
+}
+
+// skipTo advances the clock from the just-executed representative cycle to
+// target without executing the cycles in between: each would have repeated
+// the representative cycle exactly, so its counter deltas (current value
+// minus the pre-cycle snapshot) are multiplied across the gap. Occupancy
+// integrals need nothing here — they accumulate lazily off the clock and
+// fold the gap in at the next queue mutation.
+func (c *Core) skipTo(target uint64) {
+	span := target - c.now
+	s := &c.stallSnap
+	c.stats.LoadOrderStalls += span * (c.stats.LoadOrderStalls - s.loadOrder)
+	c.stats.PartialOverlapStalls += span * (c.stats.PartialOverlapStalls - s.partialOverlap)
+	c.stats.FUStalls += span * (c.stats.FUStalls - s.fu)
+	c.stats.ROBFullStalls += span * (c.stats.ROBFullStalls - s.robFull)
+	c.stats.QueueFullStalls += span * (c.stats.QueueFullStalls - s.queueFull)
+	c.stats.RecoveryStallCycles += span * (c.stats.RecoveryStallCycles - s.recovery)
+	for i, st := range c.streams {
+		ss := &s.streams[i]
+		st.Stats.LoadPortStalls += span * (st.Stats.LoadPortStalls - ss.loadPort)
+		st.Stats.StorePortStalls += span * (st.Stats.StorePortStalls - ss.storePort)
+		st.Stats.LoadMSHRStalls += span * (st.Stats.LoadMSHRStalls - ss.loadMSHR)
+		st.Stats.StoreMSHRStalls += span * (st.Stats.StoreMSHRStalls - ss.storeMSHR)
+		st.Stats.Combined += span * (st.Stats.Combined - ss.combined)
+		st.Cache.Stats.Rejected += span * (st.Cache.Stats.Rejected - ss.rejected)
+	}
+	c.now = target
+	c.stats.Cycles = target
+}
+
 // abort builds the typed error for an abnormal end of the run.
 func (c *Core) abort(kind simerr.Kind, reason string, cause error) *simerr.SimError {
 	return &simerr.SimError{
@@ -179,11 +389,11 @@ func (c *Core) snapshot() simerr.Snapshot {
 		Cycle:           c.now,
 		Committed:       c.stats.Committed,
 		LastCommitCycle: c.lastCommitCycle,
-		ROBLen:          len(c.rob),
+		ROBLen:          c.robN,
 		ROBCap:          c.cfg.ROBSize,
 	}
-	if len(c.rob) > 0 {
-		s.ROBHead = entryState(c.rob[0])
+	if c.robN > 0 {
+		s.ROBHead = entryState(c.robAt(0))
 	}
 	for _, st := range c.streams {
 		left, line, group := st.CombineWindow()

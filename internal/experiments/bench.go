@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -35,21 +36,45 @@ type BenchEntry struct {
 
 // BenchReport is the full -json benchmark artifact.
 type BenchReport struct {
-	Schema     string       `json:"schema"`
-	Scale      float64      `json:"scale"`
-	Config     string       `json:"config"`
-	GoVersion  string       `json:"go_version"`
-	GOARCH     string       `json:"goarch"`
+	Schema    string  `json:"schema"`
+	Scale     float64 `json:"scale"`
+	Config    string  `json:"config"`
+	GoVersion string  `json:"go_version"`
+	GOARCH    string  `json:"goarch"`
+	// Engine names the run loop the measurement used ("event" or "tick");
+	// empty in pre-engine reports, which ran the tick loop.
+	Engine string `json:"engine,omitempty"`
+	// Reps is the repetitions per workload (fastest kept); 0/absent in
+	// older reports means one.
+	Reps       int          `json:"reps,omitempty"`
 	Workloads  []BenchEntry `json:"workloads"`
 	TotalMinst float64      `json:"total_minst"`
 	TotalSecs  float64      `json:"total_seconds"`
 }
 
 // Bench simulates every workload once under the paper's (3+2)×4-way
-// optimized configuration and measures simulator throughput. The
-// simulated counters (cycles, committed) are deterministic; the
-// throughput numbers are host-dependent.
+// optimized configuration on the default (event) engine and measures
+// simulator throughput. The simulated counters (cycles, committed) are
+// deterministic and engine-independent; the throughput numbers are
+// host-dependent.
 func Bench(scale float64) (*BenchReport, error) {
+	return BenchEngine(scale, core.EngineEvent)
+}
+
+// BenchEngine is Bench on an explicit run-loop engine.
+func BenchEngine(scale float64, engine core.Engine) (*BenchReport, error) {
+	return BenchEngineReps(scale, engine, 1)
+}
+
+// BenchEngineReps measures each workload reps times and keeps the
+// fastest repetition — standard practice for wall-clock benchmarks,
+// since scheduler noise only ever slows a run down. The simulated
+// counters are deterministic across repetitions; only the throughput
+// numbers differ.
+func BenchEngineReps(scale float64, engine core.Engine, reps int) (*BenchReport, error) {
+	if reps < 1 {
+		reps = 1
+	}
 	cfg := config.Default().WithPorts(3, 2).WithOptimizations(2)
 	rep := &BenchReport{
 		Schema:    BenchSchema,
@@ -57,41 +82,49 @@ func Bench(scale float64) (*BenchReport, error) {
 		Config:    cfg.Name(),
 		GoVersion: runtime.Version(),
 		GOARCH:    runtime.GOARCH,
+		Engine:    engine.String(),
+		Reps:      reps,
 		Workloads: []BenchEntry{},
 	}
 	var ms0, ms1 runtime.MemStats
 	for _, w := range workload.All() {
 		prog := w.Program(scale)
-		runtime.GC()
-		runtime.ReadMemStats(&ms0)
-		start := time.Now()
-		c, err := core.New(prog, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("bench %s: %w", w.Name, err)
+		var best BenchEntry
+		for r := 0; r < reps; r++ {
+			runtime.GC()
+			runtime.ReadMemStats(&ms0)
+			start := time.Now()
+			c, err := core.New(prog, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("bench %s: %w", w.Name, err)
+			}
+			res, err := c.RunWith(context.Background(), core.RunOptions{Engine: engine})
+			if err != nil {
+				return nil, fmt.Errorf("bench %s: %w", w.Name, err)
+			}
+			wall := time.Since(start).Seconds()
+			runtime.ReadMemStats(&ms1)
+			allocs := float64(ms1.Mallocs - ms0.Mallocs)
+			e := BenchEntry{
+				Workload:    w.Name,
+				Cycles:      res.Cycles,
+				Committed:   res.Committed,
+				IPC:         res.IPC(),
+				WallSeconds: wall,
+			}
+			if wall > 0 {
+				e.MinstPerSec = float64(res.Committed) / 1e6 / wall
+			}
+			if res.Committed > 0 {
+				e.AllocsPerOp = allocs / float64(res.Committed)
+			}
+			if r == 0 || e.WallSeconds < best.WallSeconds {
+				best = e
+			}
 		}
-		res, err := c.Run()
-		if err != nil {
-			return nil, fmt.Errorf("bench %s: %w", w.Name, err)
-		}
-		wall := time.Since(start).Seconds()
-		runtime.ReadMemStats(&ms1)
-		allocs := float64(ms1.Mallocs - ms0.Mallocs)
-		e := BenchEntry{
-			Workload:    w.Name,
-			Cycles:      res.Cycles,
-			Committed:   res.Committed,
-			IPC:         res.IPC(),
-			WallSeconds: wall,
-		}
-		if wall > 0 {
-			e.MinstPerSec = float64(res.Committed) / 1e6 / wall
-		}
-		if res.Committed > 0 {
-			e.AllocsPerOp = allocs / float64(res.Committed)
-		}
-		rep.Workloads = append(rep.Workloads, e)
-		rep.TotalMinst += float64(res.Committed) / 1e6
-		rep.TotalSecs += wall
+		rep.Workloads = append(rep.Workloads, best)
+		rep.TotalMinst += float64(best.Committed) / 1e6
+		rep.TotalSecs += best.WallSeconds
 	}
 	return rep, nil
 }

@@ -95,6 +95,20 @@ func (c *BenchComparison) Regressed(tolerance float64) bool {
 	return c.Delta < -tolerance
 }
 
+// AnyCyclesChanged reports whether any workload's deterministic simulated
+// cycle count differs between the two reports. CI uses it (via ddbench
+// -cyclecheck) to assert that the tick and event engines simulate the
+// identical machine: between two same-commit runs, any difference is an
+// engine-equivalence break, not a host-speed effect.
+func (c *BenchComparison) AnyCyclesChanged() bool {
+	for _, row := range c.Rows {
+		if row.CyclesChanged {
+			return true
+		}
+	}
+	return false
+}
+
 // Render formats the comparison as the human report the gate prints.
 func (c *BenchComparison) Render(tolerance float64) string {
 	var b strings.Builder

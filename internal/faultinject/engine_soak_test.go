@@ -1,0 +1,68 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/simerr"
+	"repro/internal/workload"
+)
+
+// TestEngineIdentityUnderFaults sweeps the soak's seed matrix with both run
+// engines. An armed injector pins the event engine to tick behaviour by
+// construction (BeginCycle must run every cycle for a campaign to replay),
+// so each (workload, seed) pair must produce identical outcomes: the same
+// Result bit-for-bit on success, or the same error kind and abort cycle on
+// a contained invariant violation.
+func TestEngineIdentityUnderFaults(t *testing.T) {
+	seeds := soakEnvInt("FAULT_SOAK_SEEDS", defaultSoakSeeds)
+	scale := soakEnvFloat("FAULT_SOAK_SCALE", defaultSoakScale)
+	if testing.Short() {
+		seeds = 4
+	}
+	cfg := testConfig()
+
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			prog := w.Program(scale)
+			for seed := 0; seed < seeds; seed++ {
+				p := soakParams(seed)
+				var results [2]*core.Result
+				var errs [2]error
+				for i, e := range []core.Engine{core.EngineTick, core.EngineEvent} {
+					c, err := core.New(prog, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					results[i], errs[i] = c.RunWith(context.Background(), core.RunOptions{
+						MaxCycles:      10_000_000,
+						WatchdogCycles: 250_000,
+						Injector:       New(int64(seed), p),
+						Engine:         e,
+					})
+				}
+				switch {
+				case (errs[0] == nil) != (errs[1] == nil):
+					t.Errorf("seed %d (%s): outcomes differ: tick err=%v, event err=%v",
+						seed, p.Faults, errs[0], errs[1])
+				case errs[0] != nil:
+					var st, se *simerr.SimError
+					if !errors.As(errs[0], &st) || !errors.As(errs[1], &se) {
+						t.Errorf("seed %d (%s): untyped errors: %v / %v", seed, p.Faults, errs[0], errs[1])
+					} else if st.Kind != se.Kind || st.Snapshot.Cycle != se.Snapshot.Cycle {
+						t.Errorf("seed %d (%s): aborts differ: tick %s@%d, event %s@%d",
+							seed, p.Faults, st.Kind, st.Snapshot.Cycle, se.Kind, se.Snapshot.Cycle)
+					}
+				case !reflect.DeepEqual(results[0], results[1]):
+					t.Errorf("seed %d (%s): results diverge between engines:\n tick:  %+v\n event: %+v",
+						seed, p.Faults, results[0].Stats, results[1].Stats)
+				}
+			}
+		})
+	}
+}

@@ -218,12 +218,12 @@ func testStream(t *testing.T) *Stream {
 func TestCommitStoreRequiresHead(t *testing.T) {
 	s := testStream(t)
 	older, younger := &testEntry{seq: 0}, &testEntry{seq: 1}
-	s.Dispatch(older)
-	s.Dispatch(younger)
+	s.Dispatch(1, older)
+	s.Dispatch(1, younger)
 
 	s.Reset()
 	mustPanic(t, "CommitStore on non-head", func() { s.CommitStore(1, younger, 0x100, GroupNone) })
-	mustPanic(t, "Retire of non-head", func() { s.Retire(younger) })
+	mustPanic(t, "Retire of non-head", func() { s.Retire(1, younger) })
 
 	notQueued := &testEntry{seq: 2}
 	mustPanic(t, "CommitStore on unqueued entry", func() { s.CommitStore(1, notQueued, 0x100, GroupNone) })
@@ -231,7 +231,7 @@ func TestCommitStoreRequiresHead(t *testing.T) {
 	if status, _ := s.CommitStore(1, older, 0x100, GroupNone); status != CommitOK {
 		t.Fatalf("CommitStore on head = %v, want CommitOK", status)
 	}
-	s.Retire(older)
+	s.Retire(1, older)
 	if s.Occupancy() != 1 {
 		t.Fatalf("Occupancy() = %d after retiring head, want 1", s.Occupancy())
 	}
@@ -313,12 +313,12 @@ func TestCombineWindowClosesOnSquash(t *testing.T) {
 	s := combiningStream(t, false)
 	es := entries(4)
 	for _, e := range es {
-		s.Dispatch(e)
+		s.Dispatch(1, e)
 	}
 	if ok, _ := s.Grant(1, 0x100, true, GroupNone); !ok {
 		t.Fatal("anchor grant refused")
 	}
-	s.Squash(0) // drop seqs 1..3
+	s.Squash(1, 0) // drop seqs 1..3
 	// Same line, position inside the old window: must need its own port,
 	// and the single port is already consumed.
 	if ok, combined := s.Grant(1, 0x104, true, GroupNone); ok || combined {
@@ -330,7 +330,7 @@ func TestCombineWindowClosesOnSquash(t *testing.T) {
 	if ok, _ := s.Grant(0, 0x100, true, GroupNone); !ok {
 		t.Fatal("anchor grant refused")
 	}
-	s.Remove(es[0])
+	s.Remove(1, es[0])
 	if _, combined := s.Grant(0, 0x104, true, GroupNone); combined {
 		t.Fatal("window survived Remove")
 	}
@@ -338,7 +338,7 @@ func TestCombineWindowClosesOnSquash(t *testing.T) {
 	if ok, _ := s.Grant(0, 0x100, true, GroupNone); !ok {
 		t.Fatal("anchor grant refused")
 	}
-	s.Drain()
+	s.Drain(1)
 	if _, combined := s.Grant(0, 0x104, true, GroupNone); combined {
 		t.Fatal("window survived Drain")
 	}
@@ -402,8 +402,8 @@ func TestStreamTransfer(t *testing.T) {
 	}
 	a, b := mk(0, "LSQ"), mk(1, "LVAQ")
 	e := &testEntry{seq: 0}
-	a.Dispatch(e)
-	Transfer(a, b, e)
+	a.Dispatch(1, e)
+	Transfer(1, a, b, e)
 	if a.Occupancy() != 0 || b.Occupancy() != 1 {
 		t.Fatalf("occupancies after Transfer = %d/%d, want 0/1", a.Occupancy(), b.Occupancy())
 	}

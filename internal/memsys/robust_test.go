@@ -33,7 +33,7 @@ func TestGrantHookDeniesPorts(t *testing.T) {
 
 	// A denying hook must also stall a commit-time store write.
 	e := &testEntry{seq: 0}
-	s.Dispatch(e)
+	s.Dispatch(1, e)
 	if status, _ := s.CommitStore(1, e, 0x100, GroupNone); status != CommitPortStall {
 		t.Fatalf("CommitStore under denying hook = %v, want CommitPortStall", status)
 	}

@@ -71,6 +71,17 @@ type Stream struct {
 	combineIsLoad bool
 	combineAnchor int
 	combineGroup  int
+
+	// occSynced is the last cycle whose occupancy sample has been folded
+	// into Stats.Occupancy (lazy interval accumulation: the integral is
+	// advanced only when the queue length changes, not every cycle). The
+	// legacy sample point is the memory stage — after the cycle's commits,
+	// before its dispatches — and the sync calls in the mutators below
+	// reproduce it exactly: commit-stage mutators (Retire, Drain)
+	// accumulate through now-1 so the current cycle samples the shrunken
+	// queue, post-sample mutators (Dispatch, Insert, Remove, Squash)
+	// accumulate through now so the current cycle samples the old length.
+	occSynced uint64
 }
 
 // GroupNone marks an access that belongs to no statically-proven
@@ -98,14 +109,37 @@ func (s *Stream) Reset() {
 // Occupancy returns the current number of queued accesses.
 func (s *Stream) Occupancy() int { return s.Queue.Len() }
 
-// TickOccupancy accumulates the per-cycle occupancy integral.
-func (s *Stream) TickOccupancy() { s.Stats.Occupancy += uint64(s.Queue.Len()) }
+// syncOcc folds cycles (occSynced, through] into the occupancy integral at
+// the current queue length. Call before any length change: the cycles
+// since the last change all sampled the old length.
+func (s *Stream) syncOcc(through uint64) {
+	if through > s.occSynced {
+		s.Stats.Occupancy += (through - s.occSynced) * uint64(s.Queue.Len())
+		s.occSynced = through
+	}
+}
+
+// FlushOccupancy folds the tail of the occupancy integral (cycles since
+// the last queue mutation, through the given final cycle) into the stats.
+// The pipeline calls it once, when building the result.
+func (s *Stream) FlushOccupancy(now uint64) { s.syncOcc(now) }
+
+// NextWake reports the earliest cycle strictly after now at which this
+// stream can make progress it could not make now, or 0 when it holds no
+// such future event. Today that is exactly its cache's next fill
+// completion — an MSHR-rejected access can only be accepted once a fill
+// frees an MSHR. Port availability and the combining window need no wake:
+// both reset at the next cycle boundary, so they never block longer than
+// one cycle on their own.
+func (s *Stream) NextWake(now uint64) uint64 { return s.Cache.NextFillDone(now) }
 
 // Full reports whether the queue has reached its architectural size.
 func (s *Stream) Full() bool { return s.Queue.Len() >= s.Spec.QueueSize }
 
-// Dispatch inserts a primary access at the queue tail and counts it.
-func (s *Stream) Dispatch(e Entry) {
+// Dispatch inserts a primary access at the queue tail (during cycle now's
+// dispatch stage, after the cycle's occupancy sample) and counts it.
+func (s *Stream) Dispatch(now uint64, e Entry) {
+	s.syncOcc(now)
 	s.Queue.Push(e)
 	s.Stats.Dispatched++
 }
@@ -114,13 +148,17 @@ func (s *Stream) Dispatch(e Entry) {
 // dispatched here: the shadow copy of a dual-steered access, or an access
 // re-steered into this stream by misroute recovery (the recovery path
 // adjusts the dispatch counters explicitly).
-func (s *Stream) Insert(e Entry) { s.Queue.Push(e) }
+func (s *Stream) Insert(now uint64, e Entry) {
+	s.syncOcc(now)
+	s.Queue.Push(e)
+}
 
 // Remove deletes an access from the queue (dual-copy kill, misroute
-// recovery). Panics if e is not in this stream. Removal shifts younger
-// entries down, invalidating the combining window's position anchor, so
-// the window closes.
-func (s *Stream) Remove(e Entry) {
+// recovery; both run after cycle now's occupancy sample). Panics if e is
+// not in this stream. Removal shifts younger entries down, invalidating
+// the combining window's position anchor, so the window closes.
+func (s *Stream) Remove(now uint64, e Entry) {
+	s.syncOcc(now)
 	s.Queue.Remove(e)
 	s.combineLeft = 0
 }
@@ -193,12 +231,17 @@ func (s *Stream) CommitStore(now uint64, e Entry, addr uint32, group int) (Commi
 	return CommitOK, combined
 }
 
-// Retire removes a committing access from the queue head. Commit order is
-// program order, so the access must be the oldest entry; anything else is
-// a pipeline bug and panics.
-func (s *Stream) Retire(e Entry) {
+// Retire removes a committing access from the queue head during cycle
+// now's commit stage — before the cycle's occupancy sample, so the
+// integral is advanced only through now-1. Commit order is program order,
+// so the access must be the oldest entry; anything else is a pipeline bug
+// and panics.
+func (s *Stream) Retire(now uint64, e Entry) {
 	if s.Queue.Len() == 0 || s.Queue.Head() != e {
 		panic("memsys: retiring an entry that is not the stream head")
+	}
+	if now > 0 {
+		s.syncOcc(now - 1)
 	}
 	s.Queue.PopHead()
 }
@@ -208,15 +251,20 @@ func (s *Stream) Retire(e Entry) {
 // its anchor is a queue position that may now name a different (younger,
 // re-dispatched) access, and a post-recovery access must not ride a grant
 // won by a squashed one.
-func (s *Stream) Squash(maxSeq uint64) int {
+func (s *Stream) Squash(now, maxSeq uint64) int {
+	s.syncOcc(now)
 	s.combineLeft = 0
 	return s.Queue.TruncateYounger(maxSeq)
 }
 
-// Drain empties the queue and returns how many entries were still
-// in flight — 0 for a cleanly drained pipeline, which tests assert. The
+// Drain empties the queue (at the commit stage of cycle now, before the
+// cycle's occupancy sample) and returns how many entries were still in
+// flight — 0 for a cleanly drained pipeline, which tests assert. The
 // combining window cannot survive without its anchor entry.
-func (s *Stream) Drain() int {
+func (s *Stream) Drain(now uint64) int {
+	if now > 0 {
+		s.syncOcc(now - 1)
+	}
 	s.combineLeft = 0
 	return s.Queue.Clear()
 }
@@ -225,9 +273,9 @@ func (s *Stream) Drain() int {
 // (misroute recovery): it is removed from its old queue, appended to the
 // new one — recovery squashed everything younger, so the tail position is
 // its program-order slot — and the dispatch accounting follows it.
-func Transfer(from, to *Stream, e Entry) {
-	from.Remove(e)
-	to.Insert(e)
+func Transfer(now uint64, from, to *Stream, e Entry) {
+	from.Remove(now, e)
+	to.Insert(now, e)
 	from.Stats.Dispatched--
 	to.Stats.Dispatched++
 }
