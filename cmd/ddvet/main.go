@@ -1,0 +1,138 @@
+// Command ddvet runs the repo-level static-analysis suite over the
+// simulator's own source, enforcing the invariants the dynamic test suites
+// probe: deterministic results (no wall-clock, no unseeded randomness, no
+// order-sensitive map iteration in output paths), the package layering DAG,
+// the simerr error taxonomy, and allocation-free //ddvet:hotpath functions
+// cross-validated against the compiler's -gcflags=-m escape analysis.
+//
+// Usage:
+//
+//	ddvet                      # check the module rooted at .
+//	ddvet -root path           # check another module (fixtures, worktrees)
+//	ddvet -json                # machine-readable ddvet/v1 report
+//	ddvet -rules layering,errors
+//	ddvet -escapes=false       # skip the compiler escape cross-validation
+//	ddvet -baseline f.json     # grandfather the findings listed in f.json
+//	ddvet -write-baseline      # rewrite the baseline to the current findings
+//	ddvet -escapes-from m.txt  # use canned -gcflags=-m output (tests, CI
+//	                           # debugging) instead of invoking the compiler
+//
+// The baseline defaults to .ddvet-baseline.json at the module root; a
+// missing file is an empty baseline, so a clean tree needs no file at all.
+// Baselined findings and stale baseline entries are reported but do not
+// fail the run.
+//
+// Exit status: 0 when every finding is baselined (or none exist), 1 when
+// any new finding is reported, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/srccheck"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ddvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		root          = fs.String("root", ".", "module root (directory holding go.mod)")
+		jsonOut       = fs.Bool("json", false, "emit the ddvet/v1 JSON report")
+		rules         = fs.String("rules", "", "comma-separated checker subset (default: all of "+strings.Join(srccheck.CheckerNames(), ",")+")")
+		escapes       = fs.Bool("escapes", true, "run go build -gcflags=-m and cross-validate hotpath functions")
+		escapesFrom   = fs.String("escapes-from", "", "file of canned -gcflags=-m output to use instead of invoking the compiler")
+		baselinePath  = fs.String("baseline", "", "baseline file (default <root>/.ddvet-baseline.json)")
+		writeBaseline = fs.Bool("write-baseline", false, "rewrite the baseline file to grandfather the current findings")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "ddvet: unexpected arguments (the target is -root)")
+		return 2
+	}
+
+	cfg := srccheck.DefaultConfig()
+	if *rules != "" {
+		cfg.Rules = map[string]bool{}
+		known := map[string]bool{}
+		for _, n := range srccheck.CheckerNames() {
+			known[n] = true
+		}
+		for _, r := range strings.Split(*rules, ",") {
+			r = strings.TrimSpace(r)
+			if !known[r] {
+				fmt.Fprintf(stderr, "ddvet: unknown checker %q (have %s)\n", r, strings.Join(srccheck.CheckerNames(), ", "))
+				return 2
+			}
+			cfg.Rules[r] = true
+		}
+	}
+
+	hotpathOn := cfg.Rules == nil || cfg.Rules["hotpath"]
+	switch {
+	case *escapesFrom != "":
+		data, err := os.ReadFile(*escapesFrom)
+		if err != nil {
+			fmt.Fprintln(stderr, "ddvet:", err)
+			return 2
+		}
+		cfg.Escapes = srccheck.ParseEscapes(data)
+	case *escapes && hotpathOn:
+		diags, err := srccheck.RunEscapeAnalysis(*root)
+		if err != nil {
+			fmt.Fprintln(stderr, "ddvet:", err)
+			return 2
+		}
+		cfg.Escapes = diags
+	}
+
+	mod, findings, err := srccheck.Run(*root, cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "ddvet:", err)
+		return 2
+	}
+
+	bpath := *baselinePath
+	if bpath == "" {
+		bpath = filepath.Join(*root, ".ddvet-baseline.json")
+	}
+	if *writeBaseline {
+		b := srccheck.FromFindings(findings)
+		if err := b.Save(bpath); err != nil {
+			fmt.Fprintln(stderr, "ddvet:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "ddvet: wrote %d baseline entr%s to %s\n",
+			len(b.Entries), map[bool]string{true: "y", false: "ies"}[len(b.Entries) == 1], bpath)
+	}
+	baseline, err := srccheck.LoadBaseline(bpath)
+	if err != nil {
+		fmt.Fprintln(stderr, "ddvet:", err)
+		return 2
+	}
+	stale := baseline.Apply(findings)
+
+	report := srccheck.NewReport(mod, findings, stale)
+	if *jsonOut {
+		if err := report.WriteJSON(stdout); err != nil {
+			fmt.Fprintln(stderr, "ddvet:", err)
+			return 2
+		}
+	} else {
+		report.WriteText(stdout)
+	}
+	if report.Summary.New > 0 {
+		return 1
+	}
+	return 0
+}

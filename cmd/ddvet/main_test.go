@@ -1,0 +1,190 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/srccheck"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+const (
+	violationsRoot = "../../internal/srccheck/testdata/violations"
+	cleanRoot      = "../../internal/srccheck/testdata/clean"
+)
+
+func runVet(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestJSONGolden pins the ddvet/v1 wire format against a golden file built
+// from the seeded-violation fixture. Regenerate with -update after a
+// deliberate schema change.
+func TestJSONGolden(t *testing.T) {
+	code, stdout, stderr := runVet(t,
+		"-root", violationsRoot,
+		"-escapes-from", filepath.Join(violationsRoot, "escapes.txt"),
+		"-json")
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1 (fixture is all violations); stderr: %s", code, stderr)
+	}
+	const golden = "testdata/violations.json"
+	if *update {
+		if err := os.WriteFile(golden, []byte(stdout), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout != string(want) {
+		t.Errorf("JSON output drifted from golden file (run with -update if intended)\ngot:\n%s\nwant:\n%s",
+			stdout, want)
+	}
+
+	// The golden bytes must decode as a schema-complete ddvet/v1 report.
+	var rep srccheck.Report
+	if err := json.Unmarshal(want, &rep); err != nil {
+		t.Fatalf("golden does not decode: %v", err)
+	}
+	if rep.Schema != srccheck.ReportSchema {
+		t.Errorf("schema = %q, want %q", rep.Schema, srccheck.ReportSchema)
+	}
+	if rep.Module != "violations" {
+		t.Errorf("module = %q, want violations", rep.Module)
+	}
+	if rep.Summary.Total == 0 || rep.Summary.New != rep.Summary.Total || rep.Summary.Baselined != 0 {
+		t.Errorf("summary off without a baseline: %+v", rep.Summary)
+	}
+	for _, f := range rep.Findings {
+		if f.Rule == "" || f.File == "" || f.Line == 0 || f.Message == "" {
+			t.Errorf("schema-incomplete finding in golden: %+v", f)
+		}
+	}
+}
+
+// TestCleanFixtureExitsZero: a conforming module needs no baseline file.
+func TestCleanFixtureExitsZero(t *testing.T) {
+	code, _, stderr := runVet(t,
+		"-root", cleanRoot,
+		"-escapes-from", filepath.Join(cleanRoot, "escapes.txt"))
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0; stderr: %s", code, stderr)
+	}
+}
+
+// TestBaselineLifecycle drives the full grandfathering workflow against the
+// violations fixture: write a baseline and the same findings stop failing
+// the run; remove one entry and that finding is new again (exit 1); add a
+// bogus entry and it is reported stale without failing the run.
+func TestBaselineLifecycle(t *testing.T) {
+	bpath := filepath.Join(t.TempDir(), "baseline.json")
+	escapes := filepath.Join(violationsRoot, "escapes.txt")
+
+	// Step 1: grandfather everything.
+	code, _, stderr := runVet(t,
+		"-root", violationsRoot, "-escapes-from", escapes,
+		"-baseline", bpath, "-write-baseline")
+	if code != 0 {
+		t.Fatalf("write-baseline run: exit %d, want 0; stderr: %s", code, stderr)
+	}
+
+	// Step 2: the baselined run is green and reports everything baselined.
+	code, stdout, stderr := runVet(t,
+		"-root", violationsRoot, "-escapes-from", escapes,
+		"-baseline", bpath, "-json")
+	if code != 0 {
+		t.Fatalf("baselined run: exit %d, want 0; stderr: %s", code, stderr)
+	}
+	var rep srccheck.Report
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.New != 0 || rep.Summary.Baselined != rep.Summary.Total || rep.Summary.Total == 0 {
+		t.Fatalf("baselined run summary: %+v", rep.Summary)
+	}
+
+	// Step 3: drop one entry — that finding is new at its site again.
+	b, err := srccheck.LoadBaseline(bpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Entries) < 2 {
+		t.Fatalf("baseline too small to exercise removal: %d entries", len(b.Entries))
+	}
+	removed := b.Entries[0]
+	b.Entries = b.Entries[1:]
+	if err := b.Save(bpath); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ = runVet(t,
+		"-root", violationsRoot, "-escapes-from", escapes,
+		"-baseline", bpath, "-json")
+	if code != 1 {
+		t.Fatalf("run after baseline removal: exit %d, want 1", code)
+	}
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.New != 1 {
+		t.Fatalf("exactly the un-grandfathered finding should be new, summary: %+v", rep.Summary)
+	}
+
+	// Step 4: a baseline entry matching nothing is stale, not fatal.
+	b.Entries = append(b.Entries, removed, srccheck.BaselineEntry{
+		Rule: "det-time-now", File: "internal/gone/gone.go", Symbol: "Paid", Message: "debt was repaid",
+	})
+	if err := b.Save(bpath); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ = runVet(t,
+		"-root", violationsRoot, "-escapes-from", escapes,
+		"-baseline", bpath, "-json")
+	if code != 0 {
+		t.Fatalf("run with stale entry: exit %d, want 0", code)
+	}
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.Stale != 1 || len(rep.StaleBaseline) != 1 {
+		t.Fatalf("stale entry not reported: %+v", rep.Summary)
+	}
+	if rep.StaleBaseline[0].Symbol != "Paid" {
+		t.Fatalf("wrong stale entry surfaced: %+v", rep.StaleBaseline[0])
+	}
+
+	// The text report mentions staleness too, for humans.
+	code, stdout, _ = runVet(t,
+		"-root", violationsRoot, "-escapes-from", escapes,
+		"-baseline", bpath)
+	if code != 0 {
+		t.Fatalf("text run with stale entry: exit %d, want 0", code)
+	}
+	if !strings.Contains(stdout, "stale") {
+		t.Errorf("text report does not mention the stale baseline entry:\n%s", stdout)
+	}
+}
+
+// TestUsageErrors: unknown checkers and positional arguments are usage
+// errors (exit 2), distinct from findings (exit 1).
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runVet(t, "-rules", "nonsense"); code != 2 {
+		t.Errorf("unknown checker: exit %d, want 2", code)
+	}
+	if code, _, _ := runVet(t, "positional"); code != 2 {
+		t.Errorf("positional argument: exit %d, want 2", code)
+	}
+	if code, _, _ := runVet(t, "-root", violationsRoot, "-escapes-from", "no/such/file.txt"); code != 2 {
+		t.Errorf("missing escapes file: exit %d, want 2", code)
+	}
+}

@@ -763,7 +763,7 @@ func New(prog *asm.Program, cfg config.Config) (*Core, error) {
 		c.freeUops = append(c.freeUops, &slab[i])
 	}
 	if len(cfg.Streams()) > coreStreams {
-		return nil, errors.New("core: config builds more streams than the core supports")
+		return nil, ErrTooManyStreams
 	}
 	for id, spec := range cfg.Streams() {
 		sc := cache.New(cache.Config{
@@ -825,6 +825,10 @@ func (c *Core) route(local bool) int {
 // the cycle safety budget is exhausted before the program halts — almost
 // always a sign of a workload that does not terminate.
 var ErrBudget = errors.New("core: cycle budget exhausted")
+
+// ErrTooManyStreams: the config declares more memory streams than the
+// core's fixed per-uop bookkeeping supports.
+var ErrTooManyStreams = errors.New("core: config builds more streams than the core supports")
 
 func (c *Core) done() bool {
 	return c.fetchDone && c.robN == 0

@@ -22,6 +22,8 @@ import (
 // multi-cycle functional-unit latency, a recovery stall), it registers a
 // wake; events exactly one cycle ahead need none, because a skip only
 // begins after two consecutive quiescent cycles.
+//
+//ddvet:hotpath
 func (c *Core) cycle() {
 	c.now++
 	if c.fi != nil {
@@ -55,6 +57,10 @@ func (c *Core) addWake(cycle uint64) {
 
 // ---------------------------------------------------------------- commit
 
+// commitStage retires up to IssueWidth completed ROB heads, driving store
+// commits through their stream's cache ports.
+//
+//ddvet:hotpath
 func (c *Core) commitStage() {
 	for n := 0; n < c.cfg.IssueWidth && c.robN > 0; n++ {
 		u := c.robAt(0)
@@ -132,6 +138,9 @@ func (c *Core) commitStage() {
 
 // ---------------------------------------------------------------- memory
 
+// memoryStage drives every stream's pending accesses one cycle.
+//
+//ddvet:hotpath
 func (c *Core) memoryStage() {
 	for _, s := range c.streams {
 		c.processStream(s)
@@ -145,6 +154,8 @@ func (c *Core) memoryStage() {
 // §3.1 order scans below still inspect the full queue window through the
 // ring, so the abbreviated walk is observation-equivalent to visiting
 // every entry.
+//
+//ddvet:hotpath
 func (c *Core) processStream(s *memsys.Stream) {
 	for u := c.pendHead[s.ID]; u != nil; {
 		// Processing u can only unlink u itself, so the successor is
@@ -467,6 +478,10 @@ func (c *Core) fastForward(s *memsys.Stream, u, st *uop) {
 
 // ---------------------------------------------------------------- issue
 
+// issueStage walks the not-yet-issued list in program order, issuing up to
+// IssueWidth operand-ready entries into free functional units.
+//
+//ddvet:hotpath
 func (c *Core) issueStage() {
 	budget := c.cfg.IssueWidth
 	intALU, fpALU := c.cfg.IntALUs, c.cfg.FPALUs

@@ -57,6 +57,9 @@ func (e Engine) String() string {
 	return "event"
 }
 
+// ErrUnknownEngine: the -engine value names no run-loop engine.
+var ErrUnknownEngine = errors.New("core: unknown engine (want tick or event)")
+
 // ParseEngine parses a -engine flag value.
 func ParseEngine(s string) (Engine, error) {
 	switch s {
@@ -65,7 +68,7 @@ func ParseEngine(s string) (Engine, error) {
 	case "tick":
 		return EngineTick, nil
 	}
-	return EngineEvent, fmt.Errorf("unknown engine %q (want tick or event)", s)
+	return EngineEvent, fmt.Errorf("%w: %q", ErrUnknownEngine, s)
 }
 
 // RunOptions bounds and instruments one simulation run. The zero value

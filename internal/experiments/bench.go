@@ -93,6 +93,7 @@ func BenchEngineReps(scale float64, engine core.Engine, reps int) (*BenchReport,
 		for r := 0; r < reps; r++ {
 			runtime.GC()
 			runtime.ReadMemStats(&ms0)
+			//ddvet:allow det-time-now -- wall-clock here measures host throughput (Minst/s), never simulation state; cycle counts stay deterministic
 			start := time.Now()
 			c, err := core.New(prog, cfg)
 			if err != nil {
@@ -102,6 +103,7 @@ func BenchEngineReps(scale float64, engine core.Engine, reps int) (*BenchReport,
 			if err != nil {
 				return nil, fmt.Errorf("bench %s: %w", w.Name, err)
 			}
+			//ddvet:allow det-time-now -- wall-clock here measures host throughput (Minst/s), never simulation state; cycle counts stay deterministic
 			wall := time.Since(start).Seconds()
 			runtime.ReadMemStats(&ms1)
 			allocs := float64(ms1.Mallocs - ms0.Mallocs)

@@ -6,9 +6,20 @@ package experiments
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
+)
+
+// Comparison failures callers can classify with errors.Is.
+var (
+	// ErrBadReport: the file is not a ddbench/v1 report.
+	ErrBadReport = errors.New("experiments: not a ddbench/v1 report")
+	// ErrScaleMismatch: the two reports ran at different workload scales,
+	// so their throughputs are not comparable.
+	ErrScaleMismatch = errors.New("experiments: benchmark scale mismatch")
 )
 
 // ReadBenchReport loads and schema-checks one ddbench/v1 report.
@@ -22,7 +33,7 @@ func ReadBenchReport(path string) (*BenchReport, error) {
 		return nil, fmt.Errorf("experiments: %s: %w", path, err)
 	}
 	if rep.Schema != BenchSchema {
-		return nil, fmt.Errorf("experiments: %s: schema %q, want %q", path, rep.Schema, BenchSchema)
+		return nil, fmt.Errorf("%w: %s: schema %q, want %q", ErrBadReport, path, rep.Schema, BenchSchema)
 	}
 	return &rep, nil
 }
@@ -55,7 +66,7 @@ type BenchComparison struct {
 // must match: throughput at different workload sizes is not comparable.
 func CompareBench(old, new *BenchReport) (*BenchComparison, error) {
 	if old.Scale != new.Scale {
-		return nil, fmt.Errorf("experiments: scale mismatch: baseline %g vs candidate %g", old.Scale, new.Scale)
+		return nil, fmt.Errorf("%w: baseline %g vs candidate %g", ErrScaleMismatch, old.Scale, new.Scale)
 	}
 	c := &BenchComparison{}
 	if old.TotalSecs > 0 {
@@ -83,8 +94,15 @@ func CompareBench(old, new *BenchReport) (*BenchComparison, error) {
 		}
 		c.Rows = append(c.Rows, row)
 	}
-	for name, ne := range newByName {
-		c.Rows = append(c.Rows, CompareRow{Workload: name, NewMinst: ne.MinstPerSec})
+	// Workloads only the candidate has, in name order — the render is part
+	// of the gate's serialized output and must be byte-stable across runs.
+	leftover := make([]string, 0, len(newByName))
+	for name := range newByName {
+		leftover = append(leftover, name)
+	}
+	sort.Strings(leftover)
+	for _, name := range leftover {
+		c.Rows = append(c.Rows, CompareRow{Workload: name, NewMinst: newByName[name].MinstPerSec})
 	}
 	return c, nil
 }

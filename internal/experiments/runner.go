@@ -353,6 +353,9 @@ func AllExperiments() []Experiment {
 	return out
 }
 
+// ErrUnknownExperiment: the requested experiment ID is not registered.
+var ErrUnknownExperiment = errors.New("experiments: unknown experiment")
+
 // ByID looks an experiment up.
 func ByID(id string) (Experiment, error) {
 	for _, e := range experimentList {
@@ -360,5 +363,5 @@ func ByID(id string) (Experiment, error) {
 			return e, nil
 		}
 	}
-	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+	return Experiment{}, fmt.Errorf("%w: %q", ErrUnknownExperiment, id)
 }

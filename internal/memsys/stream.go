@@ -165,6 +165,8 @@ func (s *Stream) Remove(now uint64, e Entry) {
 
 // Process walks the queue in program order, calling fn with each entry and
 // its position. fn must not add or remove entries.
+//
+//ddvet:hotpath
 func (s *Stream) Process(fn func(pos int, e Entry)) {
 	for i := 0; i < s.Queue.Len(); i++ {
 		fn(i, s.Queue.At(i))
@@ -177,6 +179,8 @@ func (s *Stream) Process(fn func(pos int, e Entry)) {
 // the window ride along without consuming another port (combined=true).
 // group is the access's static combining-group id (GroupNone if it
 // belongs to none); it only gates anything under Spec.CombineStatic.
+//
+//ddvet:hotpath
 func (s *Stream) Grant(pos int, addr uint32, isLoad bool, group int) (ok, combined bool) {
 	if s.combineLeft > 0 && s.combineIsLoad == isLoad &&
 		s.Cache.SameLine(s.combineLine, addr) &&
@@ -215,6 +219,8 @@ func (s *Stream) CombineWindow() (left int, line uint32, group int) {
 // so a store that is not its stream's oldest entry is a pipeline bug and
 // panics. On CommitMSHRStall the port stays consumed, as it would in
 // hardware; the caller retries next cycle.
+//
+//ddvet:hotpath
 func (s *Stream) CommitStore(now uint64, e Entry, addr uint32, group int) (CommitStatus, bool) {
 	if s.Queue.Len() == 0 || s.Queue.Head() != e {
 		panic("memsys: CommitStore on an entry that is not the stream head")
@@ -236,6 +242,8 @@ func (s *Stream) CommitStore(now uint64, e Entry, addr uint32, group int) (Commi
 // integral is advanced only through now-1. Commit order is program order,
 // so the access must be the oldest entry; anything else is a pipeline bug
 // and panics.
+//
+//ddvet:hotpath
 func (s *Stream) Retire(now uint64, e Entry) {
 	if s.Queue.Len() == 0 || s.Queue.Head() != e {
 		panic("memsys: retiring an entry that is not the stream head")

@@ -1,0 +1,104 @@
+package srccheck
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// BaselineSchema versions the committed baseline file.
+const BaselineSchema = "ddvet-baseline/v1"
+
+// BaselineEntry identifies one grandfathered finding. Line numbers are
+// deliberately absent: a finding keeps its baseline identity across
+// unrelated edits to its file, and moves, renames or message changes
+// surface it again as new.
+type BaselineEntry struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Symbol  string `json:"symbol,omitempty"`
+	Message string `json:"message"`
+}
+
+func (e BaselineEntry) key() string {
+	return e.Rule + "\x00" + e.File + "\x00" + e.Symbol + "\x00" + e.Message
+}
+
+// Baseline is the committed set of grandfathered findings.
+type Baseline struct {
+	Schema  string          `json:"schema"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// LoadBaseline reads a baseline file; a missing file is an empty baseline,
+// so a clean repo needs no file at all.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return &Baseline{Schema: BaselineSchema}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("srccheck: baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("srccheck: baseline %s: %w", path, err)
+	}
+	if b.Schema != BaselineSchema {
+		return nil, fmt.Errorf("srccheck: baseline %s: schema %q, want %q", path, b.Schema, BaselineSchema)
+	}
+	return &b, nil
+}
+
+// Apply marks findings present in the baseline as Baselined and returns the
+// stale entries — baseline rows matching no current finding, which means
+// the debt was paid and the entry should be deleted.
+func (b *Baseline) Apply(findings []Finding) (stale []BaselineEntry) {
+	baselined := map[string]bool{}
+	for _, e := range b.Entries {
+		baselined[e.key()] = true
+	}
+	matched := map[string]bool{}
+	for i := range findings {
+		k := findings[i].key()
+		if baselined[k] {
+			findings[i].Baselined = true
+			matched[k] = true
+		}
+	}
+	for _, e := range b.Entries {
+		if !matched[e.key()] {
+			stale = append(stale, e)
+		}
+	}
+	return stale
+}
+
+// FromFindings builds the baseline that grandfathers exactly the given
+// findings (the -write-baseline path). Entries are deduplicated and sorted
+// so the file diffs cleanly.
+func FromFindings(findings []Finding) *Baseline {
+	seen := map[string]bool{}
+	b := &Baseline{Schema: BaselineSchema}
+	for _, f := range findings {
+		e := BaselineEntry{Rule: f.Rule, File: f.File, Symbol: f.Symbol, Message: f.Message}
+		if !seen[e.key()] {
+			seen[e.key()] = true
+			b.Entries = append(b.Entries, e)
+		}
+	}
+	sort.Slice(b.Entries, func(i, j int) bool { return b.Entries[i].key() < b.Entries[j].key() })
+	return b
+}
+
+// Save writes the baseline with a trailing newline, atomically enough for a
+// file that is only ever rewritten by -write-baseline.
+func (b *Baseline) Save(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,72 @@
+package srccheck
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBaselineRoundTrip(t *testing.T) {
+	findings := []Finding{
+		{Rule: "det-time-now", File: "a.go", Line: 10, Symbol: "F", Message: "m1"},
+		{Rule: "det-time-now", File: "a.go", Line: 10, Symbol: "F", Message: "m1"}, // dup collapses
+		{Rule: "layer-forbid", File: "b.go", Line: 3, Symbol: "", Message: "m2"},
+	}
+	b := FromFindings(findings)
+	if len(b.Entries) != 2 {
+		t.Fatalf("FromFindings: %d entries, want 2 (dedup)", len(b.Entries))
+	}
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := b.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 2 || got.Schema != BaselineSchema {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestBaselineMissingFileIsEmpty(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Entries) != 0 {
+		t.Fatalf("missing file should be empty baseline, got %d entries", len(b.Entries))
+	}
+}
+
+func TestBaselineSchemaMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(path, []byte(`{"schema":"ddvet-baseline/v99","entries":[]}`), 0o644)
+	if _, err := LoadBaseline(path); err == nil {
+		t.Fatal("schema mismatch must error")
+	}
+}
+
+// TestBaselineApply: identity is rule+file+symbol+message, so a line move
+// stays baselined, while a new site (different symbol) is new; an entry
+// matching nothing is reported stale.
+func TestBaselineApply(t *testing.T) {
+	b := FromFindings([]Finding{
+		{Rule: "det-time-now", File: "a.go", Line: 10, Symbol: "F", Message: "m1"},
+		{Rule: "err-adhoc-new", File: "gone.go", Line: 1, Symbol: "Old", Message: "paid off"},
+	})
+	current := []Finding{
+		{Rule: "det-time-now", File: "a.go", Line: 99, Symbol: "F", Message: "m1"}, // moved: still baselined
+		{Rule: "det-time-now", File: "a.go", Line: 50, Symbol: "G", Message: "m1"}, // new site
+	}
+	stale := b.Apply(current)
+	if !current[0].Baselined {
+		t.Error("line move lost its baseline identity")
+	}
+	if current[1].Baselined {
+		t.Error("a finding at a new symbol must not inherit the baseline")
+	}
+	if len(stale) != 1 || stale[0].Symbol != "Old" {
+		t.Errorf("stale = %+v, want the paid-off entry", stale)
+	}
+}

@@ -1,0 +1,285 @@
+package srccheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkDeterminism enforces the bit-identical-results invariant the
+// differential engine tests probe dynamically: a simulation result (and
+// every serialized form of it) must be a pure function of the config and
+// the program. Three rules:
+//
+//	det-time-now   wall-clock reads (time.Now, time.Since) in a simulation
+//	               package leak host timing into simulation state.
+//	det-rand       the global math/rand source is seeded randomly since Go
+//	               1.20; only explicitly-seeded rand.New(rand.NewSource(s))
+//	               generators are reproducible. math/rand/v2 has no global
+//	               seeding at all and is forbidden outright.
+//	det-map-iter   ranging over a map in an order-sensitive way (appending,
+//	               writing output, early exit) makes output byte-unstable
+//	               across runs. Order-independent reductions (sums, max,
+//	               set/map writes) and the collect-then-sort idiom pass.
+func checkDeterminism(m *Module, cfg *Config) []Finding {
+	var out []Finding
+	for _, pkg := range m.Pkgs {
+		det := pkgListed(pkg.RelPath, cfg.DetPackages)
+		mapScope := det || pkgListed(pkg.RelPath, cfg.OutputPackages)
+		if !det && !mapScope {
+			continue
+		}
+		for i, file := range pkg.Files {
+			fileName := pkg.FileNames[i]
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch node := n.(type) {
+				case *ast.SelectorExpr:
+					if !det {
+						return true
+					}
+					obj := pkg.Info.Uses[node.Sel]
+					fn, ok := obj.(*types.Func)
+					if !ok || fn.Pkg() == nil {
+						return true
+					}
+					switch fn.Pkg().Path() {
+					case "time":
+						if fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until" {
+							out = append(out, m.finding("det-time-now", pkg, file, fileName, node.Pos(),
+								"wall-clock read ("+fn.FullName()+") in a simulation package",
+								[]string{"simulation state and output must be a pure function of config+program",
+									"pass timestamps in from the caller or gate them behind an //ddvet:allow with a reason"}))
+						}
+					case "math/rand", "math/rand/v2":
+						if !deterministicRandFunc(fn) {
+							out = append(out, m.finding("det-rand", pkg, file, fileName, node.Pos(),
+								"unseeded randomness ("+fn.FullName()+") in a simulation package",
+								[]string{"the global math/rand source is randomly seeded at process start",
+									"construct an explicit generator: rand.New(rand.NewSource(seed))"}))
+						}
+					}
+				case *ast.RangeStmt:
+					if !mapScope || node.X == nil {
+						return true
+					}
+					t := pkg.Info.Types[node.X].Type
+					if t == nil {
+						return true
+					}
+					if _, isMap := t.Underlying().(*types.Map); !isMap {
+						return true
+					}
+					if reason, sensitive := orderSensitive(pkg, file, node); sensitive {
+						out = append(out, m.finding("det-map-iter", pkg, file, fileName, node.Pos(),
+							"order-sensitive iteration over a map",
+							append([]string{"map iteration order varies between runs"}, reason...)))
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// deterministicRandFunc reports whether a math/rand function is safe:
+// constructors taking an explicit seed/source, and methods on an
+// explicitly-constructed *Rand value (only package-level functions use the
+// global source).
+func deterministicRandFunc(fn *types.Func) bool {
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		return true // a method on *rand.Rand / a Source the caller seeded
+	}
+	switch fn.Name() {
+	case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8", "Seed":
+		return true
+	}
+	return false
+}
+
+// orderSensitive classifies a range-over-map body. The loop is
+// order-independent — and passes — when every statement is a commutative
+// reduction: plain or compound assignment to scalars, writes into other
+// maps, conditional max/min updates. It is order-sensitive when the body
+// can observe sequence: appending to a slice (unless that slice is
+// subsequently sorted in the same function), sending on a channel, writing
+// through an index into a slice, early exit (break/return), or calling any
+// function (a call may print, append or hash order into anything).
+func orderSensitive(pkg *Package, file *ast.File, rng *ast.RangeStmt) (reasons []string, sensitive bool) {
+	var appendTargets []*ast.Ident
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			name, isBuiltin := builtinName(pkg, node)
+			if isBuiltin {
+				if name == "append" {
+					if id := assignedIdent(rng.Body, node); id != nil {
+						appendTargets = append(appendTargets, id)
+					} else {
+						reasons = append(reasons, "appends in iteration order")
+					}
+					return true
+				}
+				if name == "delete" || name == "len" || name == "cap" || name == "min" || name == "max" {
+					return true
+				}
+			}
+			if isTypeConversion(pkg, node) {
+				return true
+			}
+			reasons = append(reasons, "calls "+callName(node)+" inside the loop body")
+		case *ast.SendStmt:
+			reasons = append(reasons, "sends on a channel in iteration order")
+		case *ast.BranchStmt:
+			if node.Tok.String() == "break" || node.Tok.String() == "goto" {
+				reasons = append(reasons, "exits the loop early (picks an arbitrary element)")
+			}
+		case *ast.ReturnStmt:
+			reasons = append(reasons, "returns from inside the loop (picks an arbitrary element)")
+		case *ast.AssignStmt:
+			for _, lhs := range node.Lhs {
+				ix, ok := lhs.(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				if t := pkg.Info.Types[ix.X].Type; t != nil {
+					if _, isMap := t.Underlying().(*types.Map); !isMap {
+						reasons = append(reasons, "writes through an index in iteration order")
+					}
+				}
+			}
+		}
+		return true
+	})
+	// The collect-then-sort idiom: appended keys that a later statement of
+	// the same function sorts are deterministic after the sort.
+	for _, id := range appendTargets {
+		if !sortedLater(pkg, file, rng, id) {
+			reasons = append(reasons, "appends to "+id.Name+" in iteration order without sorting it afterwards")
+		}
+	}
+	return reasons, len(reasons) > 0
+}
+
+// assignedIdent returns the identifier an `x = append(x, ...)` statement
+// assigns to when the call is the sole RHS, nil otherwise.
+func assignedIdent(body *ast.BlockStmt, call *ast.CallExpr) *ast.Ident {
+	var found *ast.Ident
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || as.Rhs[0] != call || len(as.Lhs) != 1 {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			found = id
+		}
+		return true
+	})
+	return found
+}
+
+// sortedLater reports whether, after the range loop, the enclosing function
+// passes id to a sort/slices call — the canonical deterministic-iteration
+// idiom (collect keys, sort, iterate the slice).
+func sortedLater(pkg *Package, file *ast.File, rng *ast.RangeStmt, id *ast.Ident) bool {
+	obj := pkg.Info.Uses[id]
+	if obj == nil {
+		obj = pkg.Info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	var fd *ast.FuncDecl
+	for _, decl := range file.Decls {
+		if f, ok := decl.(*ast.FuncDecl); ok && rng.Pos() >= f.Pos() && rng.End() <= f.End() {
+			fd = f
+			break
+		}
+	}
+	if fd == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || (fn.Pkg().Path() != "sort" && fn.Pkg().Path() != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if usesObject(pkg, arg, obj) {
+				sorted = true
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// usesObject reports whether expr mentions the given object.
+func usesObject(pkg *Package, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// builtinName identifies calls to Go builtins.
+func builtinName(pkg *Package, call *ast.CallExpr) (string, bool) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+		return id.Name, true
+	}
+	return "", false
+}
+
+// isTypeConversion reports whether the call expression is a conversion.
+func isTypeConversion(pkg *Package, call *ast.CallExpr) bool {
+	tv, ok := pkg.Info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// callName renders the callee for a reason chain.
+func callName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	default:
+		return "a function value"
+	}
+}
+
+// finding assembles a Finding anchored at pos.
+func (m *Module) finding(rule string, pkg *Package, file *ast.File, fileName string, pos token.Pos, msg string, reason []string) Finding {
+	_, line, col := m.position(pos)
+	return Finding{
+		Rule:     rule,
+		Severity: SevError,
+		File:     fileName,
+		Line:     line,
+		Col:      col,
+		Package:  pkg.ImportPath,
+		Symbol:   symbolFor(file, pos),
+		Message:  msg,
+		Reason:   reason,
+	}
+}

@@ -1,0 +1,192 @@
+package srccheck
+
+import (
+	"go/ast"
+	"os"
+	"strings"
+)
+
+// The two source directives ddvet understands:
+//
+//	//ddvet:hotpath
+//	    In a function's doc comment: the function is a declared hot path —
+//	    the hotpath checker forbids allocation-inducing constructs in its
+//	    body and cross-validates it against the compiler's escape analysis.
+//
+//	//ddvet:allow <rule> -- <reason>
+//	    Suppresses findings of <rule> on the same line, or on the line
+//	    directly below a standalone comment line. The reason is mandatory:
+//	    an allow without one is itself a finding, so every suppression in
+//	    the tree documents why the construct is safe.
+const (
+	hotpathDirective = "//ddvet:hotpath"
+	allowDirective_  = "//ddvet:allow"
+)
+
+type hotpathFunc struct {
+	pkg      *Package
+	file     *ast.File
+	fileName string
+	decl     *ast.FuncDecl
+}
+
+type allowDirective struct {
+	rule   string
+	reason string
+	line   int
+	// standalone is true when the comment has a line of its own (it then
+	// covers the next line rather than its own).
+	standalone bool
+}
+
+// scanDirectives collects //ddvet: directives from every file's comments.
+func (m *Module) scanDirectives() {
+	m.allows = map[string][]allowDirective{}
+	for _, pkg := range m.Pkgs {
+		for i, file := range pkg.Files {
+			fileName := pkg.FileNames[i]
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				for _, c := range fd.Doc.List {
+					if strings.TrimSpace(c.Text) == hotpathDirective {
+						m.hotpaths = append(m.hotpaths, hotpathFunc{pkg, file, fileName, fd})
+					}
+				}
+			}
+			var src []byte
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(c.Text)
+					if !strings.HasPrefix(text, allowDirective_) {
+						continue
+					}
+					if src == nil {
+						src = m.readSource(file)
+					}
+					pos := m.Fset.Position(c.Pos())
+					rule, reason := parseAllow(text)
+					m.allows[fileName] = append(m.allows[fileName], allowDirective{
+						rule:       rule,
+						reason:     reason,
+						line:       pos.Line,
+						standalone: isStandalone(src, pos.Offset),
+					})
+				}
+			}
+		}
+	}
+}
+
+// readSource returns the raw bytes of the file (empty on error, which only
+// degrades standalone detection, not correctness).
+func (m *Module) readSource(file *ast.File) []byte {
+	tf := m.Fset.File(file.Pos())
+	if tf == nil {
+		return nil
+	}
+	src, err := os.ReadFile(tf.Name())
+	if err != nil {
+		return nil
+	}
+	return src
+}
+
+// isStandalone reports whether only whitespace precedes the byte at offset
+// on its line — a standalone comment covers the next line, a trailing one
+// its own.
+func isStandalone(src []byte, offset int) bool {
+	if offset > len(src) {
+		return false
+	}
+	for i := offset - 1; i >= 0; i-- {
+		switch src[i] {
+		case '\n':
+			return true
+		case ' ', '\t':
+			continue
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parseAllow splits "//ddvet:allow rule -- reason".
+func parseAllow(text string) (rule, reason string) {
+	rest := strings.TrimSpace(strings.TrimPrefix(text, allowDirective_))
+	if i := strings.Index(rest, "--"); i >= 0 {
+		rule = strings.TrimSpace(rest[:i])
+		reason = strings.TrimSpace(rest[i+2:])
+	} else {
+		rule = strings.TrimSpace(rest)
+	}
+	if i := strings.IndexAny(rule, " \t"); i >= 0 {
+		rule = rule[:i]
+	}
+	return rule, reason
+}
+
+// directiveFindings reports malformed directives: an allow with no rule or
+// no reason defeats the audit trail the mechanism exists for.
+func (m *Module) directiveFindings() []Finding {
+	var out []Finding
+	for fileName, allows := range m.allows {
+		for _, a := range allows {
+			if a.rule != "" && a.reason != "" {
+				continue
+			}
+			msg := "//ddvet:allow needs a reason: //ddvet:allow <rule> -- <reason>"
+			if a.rule == "" {
+				msg = "//ddvet:allow needs a rule id: //ddvet:allow <rule> -- <reason>"
+			}
+			out = append(out, Finding{
+				Rule:     "allow-malformed",
+				Severity: SevError,
+				File:     fileName,
+				Line:     a.line,
+				Col:      1,
+				Package:  m.pkgOfFile(fileName),
+				Message:  msg,
+			})
+		}
+	}
+	return out
+}
+
+// applyAllows drops findings covered by a well-formed allow directive.
+func (m *Module) applyAllows(findings []Finding) []Finding {
+	kept := findings[:0]
+	for _, f := range findings {
+		if f.Rule != "allow-malformed" && m.allowed(f) {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept
+}
+
+func (m *Module) allowed(f Finding) bool {
+	for _, a := range m.allows[f.File] {
+		if a.rule != f.Rule || a.reason == "" {
+			continue
+		}
+		if a.line == f.Line || (a.standalone && a.line == f.Line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Module) pkgOfFile(fileName string) string {
+	for _, pkg := range m.Pkgs {
+		for _, fn := range pkg.FileNames {
+			if fn == fileName {
+				return pkg.ImportPath
+			}
+		}
+	}
+	return ""
+}

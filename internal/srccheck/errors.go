@@ -1,0 +1,91 @@
+package srccheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// checkErrors enforces the simerr taxonomy on the packages whose errors
+// cross package boundaries: a caller of core/serve/experiments must be able
+// to classify every failure with errors.Is/errors.As against the simerr
+// kinds or a package-level sentinel. Two rules:
+//
+//	err-naked-errorf  fmt.Errorf without a %w verb mints an unclassifiable
+//	                  string-only error — wrap the cause, or wrap a
+//	                  sentinel/simerr value when the site originates the
+//	                  failure.
+//	err-adhoc-new     errors.New inside a function body creates an error
+//	                  identity no caller can name; hoist it to a
+//	                  package-level sentinel (var ErrX = errors.New(...)).
+func checkErrors(m *Module, cfg *Config) []Finding {
+	var out []Finding
+	for _, pkg := range m.Pkgs {
+		if !pkgListed(pkg.RelPath, cfg.ErrPackages) {
+			continue
+		}
+		for i, file := range pkg.Files {
+			fileName := pkg.FileNames[i]
+			// Package-level var declarations may mint sentinels; function
+			// bodies may not.
+			var funcBodies []*ast.BlockStmt
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					funcBodies = append(funcBodies, fd.Body)
+				}
+			}
+			inFunc := func(pos ast.Node) bool {
+				for _, b := range funcBodies {
+					if pos.Pos() >= b.Pos() && pos.End() <= b.End() {
+						return true
+					}
+				}
+				return false
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				switch {
+				case fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf":
+					format, known := constFormat(pkg, call)
+					if known && !strings.Contains(format, "%w") {
+						out = append(out, m.finding("err-naked-errorf", pkg, file, fileName, call.Pos(),
+							"fmt.Errorf without %w on a taxonomy path",
+							[]string{"callers classify failures with errors.Is/As against simerr kinds and sentinels",
+								"wrap the cause with %w, or wrap a package-level sentinel when this site originates the failure"}))
+					}
+				case fn.Pkg().Path() == "errors" && fn.Name() == "New" && inFunc(call):
+					out = append(out, m.finding("err-adhoc-new", pkg, file, fileName, call.Pos(),
+						"errors.New inside a function body on a taxonomy path",
+						[]string{"an inline errors.New has no identity a caller can test for",
+							"hoist it to a package-level sentinel (var ErrX = errors.New(...)) and wrap it with %w"}))
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// constFormat extracts the constant format string of a fmt.Errorf call.
+func constFormat(pkg *Package, call *ast.CallExpr) (string, bool) {
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	tv, ok := pkg.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -1,0 +1,84 @@
+package srccheck
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// EscapeDiag is one heap-allocation site reported by the compiler's escape
+// analysis (-gcflags=-m). Only messages that prove an allocation are kept;
+// inlining chatter and "does not escape" confirmations are dropped at parse
+// time.
+type EscapeDiag struct {
+	// File is relative to the directory the compiler ran in (the module
+	// root, when produced by RunEscapeAnalysis).
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Msg  string `json:"msg"`
+}
+
+// escapeLine matches `path/file.go:12:6: message`.
+var escapeLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// allocMessages are the -m message forms that prove a heap allocation at
+// the reported site. Everything else (inlining decisions, parameter leak
+// notes, "does not escape") is noise for the hotpath gate.
+var allocMessages = []string{
+	"escapes to heap",
+	"moved to heap",
+}
+
+// ParseEscapes extracts allocation sites from raw `go build -gcflags=-m`
+// output. The parser is intentionally line-based and forgiving: compiler
+// output is interleaved with `# package` headers and inlining notes.
+func ParseEscapes(output []byte) []EscapeDiag {
+	var out []EscapeDiag
+	sc := bufio.NewScanner(bytes.NewReader(output))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		m := escapeLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		alloc := false
+		for _, want := range allocMessages {
+			if strings.Contains(msg, want) && !strings.Contains(msg, "does not escape") {
+				alloc = true
+			}
+		}
+		if !alloc {
+			continue
+		}
+		ln, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		out = append(out, EscapeDiag{
+			File: filepath.ToSlash(filepath.Clean(m[1])),
+			Line: ln,
+			Col:  col,
+			Msg:  msg,
+		})
+	}
+	return out
+}
+
+// RunEscapeAnalysis compiles the module with -gcflags=-m and parses the
+// diagnostics. The Go build cache replays compiler output on cache hits, so
+// repeated runs stay fast and still see the full report.
+func RunEscapeAnalysis(root string) ([]EscapeDiag, error) {
+	cmd := exec.Command("go", "build", "-gcflags=-m", "./...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("srccheck: go build -gcflags=-m: %w\n%s", err, out)
+	}
+	return ParseEscapes(out), nil
+}

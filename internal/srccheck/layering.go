@@ -1,0 +1,123 @@
+package srccheck
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// checkLayering enforces the declared package DAG. Three rule forms (see
+// LayerRule), one finding id each:
+//
+//	layer-leaf       a declared leaf imports a module-internal package.
+//	layer-forbid     a package reaches a forbidden package, directly or
+//	                 transitively; the reason chain is the import path.
+//	layer-only-from  a restricted package is imported from outside its
+//	                 allowed importer set.
+//
+// Findings anchor at the offending import declaration: the first edge of
+// the violating chain, which is the line a fix has to touch.
+func checkLayering(m *Module, cfg *Config) []Finding {
+	var out []Finding
+	for _, rule := range cfg.Layering {
+		switch rule.Kind {
+		case "leaf":
+			pkg, ok := m.ByRel[rule.Pkg]
+			if !ok {
+				continue
+			}
+			for _, dep := range pkg.InternalImports {
+				file, fileName, pos := m.importSite(pkg, dep)
+				out = append(out, m.finding("layer-leaf", pkg, file, fileName, pos,
+					rule.Pkg+" is a declared leaf but imports "+dep,
+					[]string{"leaf packages keep the shared vocabulary cycle-free",
+						"move the dependency up a layer or inline what " + rule.Pkg + " needs"}))
+			}
+		case "forbid":
+			pkg, ok := m.ByRel[rule.Pkg]
+			if !ok {
+				continue
+			}
+			for _, deny := range rule.Deny {
+				chain := m.reach(rule.Pkg, deny)
+				if chain == nil {
+					continue
+				}
+				file, fileName, pos := m.importSite(pkg, chain[1])
+				reason := []string{"import chain: " + strings.Join(chain, " -> ")}
+				out = append(out, m.finding("layer-forbid", pkg, file, fileName, pos,
+					rule.Pkg+" must not depend on "+deny, reason))
+			}
+		case "only-from":
+			for _, importer := range m.Pkgs {
+				if importer.RelPath == rule.Pkg || !pkgListed(rule.Pkg, importer.InternalImports) {
+					continue
+				}
+				allowed := false
+				for _, from := range rule.From {
+					if strings.HasPrefix(importer.RelPath, from) || importer.RelPath == strings.TrimSuffix(from, "/") {
+						allowed = true
+					}
+				}
+				if allowed {
+					continue
+				}
+				file, fileName, pos := m.importSite(importer, rule.Pkg)
+				out = append(out, m.finding("layer-only-from", importer, file, fileName, pos,
+					rule.Pkg+" may only be imported from "+strings.Join(rule.From, ", "),
+					[]string{importer.RelPath + " is outside the allowed importer set"}))
+			}
+		}
+	}
+	return out
+}
+
+// reach returns the shortest internal-import chain from one package to
+// another as RelPaths (inclusive), or nil when to is unreachable from from.
+func (m *Module) reach(from, to string) []string {
+	type node struct {
+		rel    string
+		parent int
+	}
+	queue := []node{{from, -1}}
+	seen := map[string]bool{from: true}
+	for i := 0; i < len(queue); i++ {
+		cur := queue[i]
+		if cur.rel == to {
+			var chain []string
+			for j := i; j >= 0; j = queue[j].parent {
+				chain = append([]string{queue[j].rel}, chain...)
+			}
+			return chain
+		}
+		pkg, ok := m.ByRel[cur.rel]
+		if !ok {
+			continue
+		}
+		for _, dep := range pkg.InternalImports {
+			if !seen[dep] {
+				seen[dep] = true
+				queue = append(queue, node{dep, i})
+			}
+		}
+	}
+	return nil
+}
+
+// importSite locates the import spec of dep (a RelPath) inside pkg,
+// returning the file, its name and the spec's position. Falls back to the
+// first file's package clause if the spec is not found.
+func (m *Module) importSite(pkg *Package, dep string) (*ast.File, string, token.Pos) {
+	want := m.Path
+	if dep != "" {
+		want = m.Path + "/" + dep
+	}
+	for i, file := range pkg.Files {
+		for _, spec := range file.Imports {
+			if strings.Trim(spec.Path.Value, `"`) == want {
+				return file, pkg.FileNames[i], spec.Pos()
+			}
+		}
+	}
+	return pkg.Files[0], pkg.FileNames[0], pkg.Files[0].Name.Pos()
+}

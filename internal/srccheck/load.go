@@ -1,0 +1,314 @@
+package srccheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module.
+type Package struct {
+	// ImportPath is the full path ("repro/internal/core"); RelPath the
+	// module-root-relative form ("internal/core", "" for the root package).
+	ImportPath string
+	RelPath    string
+	Dir        string
+	// Files and FileNames are parallel; names are module-root-relative.
+	Files     []*ast.File
+	FileNames []string
+	Types     *types.Package
+	Info      *types.Info
+	// InternalImports are the module-internal packages this one imports
+	// directly, as RelPaths, sorted.
+	InternalImports []string
+}
+
+// Module is the loaded target of one srccheck run.
+type Module struct {
+	Root string
+	// Path is the module path from go.mod.
+	Path string
+	Fset *token.FileSet
+	// Pkgs is sorted by RelPath; ByRel indexes it.
+	Pkgs  []*Package
+	ByRel map[string]*Package
+
+	// hotpaths and allows are the parsed //ddvet: directives (directives.go).
+	hotpaths []hotpathFunc
+	allows   map[string][]allowDirective
+}
+
+// Load parses and type-checks every non-test package under root (the
+// directory holding go.mod). Directories named testdata or vendor and
+// hidden directories are skipped, as are _test.go files: ddvet checks the
+// shipped simulator, not its tests.
+func Load(root string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	mod := &Module{
+		Root:  root,
+		Path:  modPath,
+		Fset:  token.NewFileSet(),
+		ByRel: map[string]*Package{},
+	}
+	if err := mod.parseTree(); err != nil {
+		return nil, err
+	}
+	if err := mod.typecheck(); err != nil {
+		return nil, err
+	}
+	mod.scanDirectives()
+	return mod, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("srccheck: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			p = strings.Trim(p, `"`)
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("srccheck: no module line in %s", gomod)
+}
+
+// parseTree walks the module tree and parses every package's non-test files.
+func (m *Module) parseTree() error {
+	err := filepath.WalkDir(m.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != m.Root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		return m.parseDir(path)
+	})
+	if err != nil {
+		return err
+	}
+	if len(m.Pkgs) == 0 {
+		return fmt.Errorf("srccheck: no Go packages under %s", m.Root)
+	}
+	sort.Slice(m.Pkgs, func(i, j int) bool { return m.Pkgs[i].RelPath < m.Pkgs[j].RelPath })
+	return nil
+}
+
+func (m *Module) parseDir(dir string) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	rel, err := filepath.Rel(m.Root, dir)
+	if err != nil {
+		return err
+	}
+	if rel == "." {
+		rel = ""
+	}
+	rel = filepath.ToSlash(rel)
+	var pkg *Package
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		file, err := parser.ParseFile(m.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("srccheck: %w", err)
+		}
+		if pkg == nil {
+			imp := m.Path
+			if rel != "" {
+				imp = m.Path + "/" + rel
+			}
+			pkg = &Package{ImportPath: imp, RelPath: rel, Dir: dir}
+		}
+		pkg.Files = append(pkg.Files, file)
+		fileRel := name
+		if rel != "" {
+			fileRel = rel + "/" + name
+		}
+		pkg.FileNames = append(pkg.FileNames, fileRel)
+		for _, spec := range file.Imports {
+			p := strings.Trim(spec.Path.Value, `"`)
+			if r, ok := m.internalRel(p); ok && !pkgListed(r, pkg.InternalImports) {
+				pkg.InternalImports = append(pkg.InternalImports, r)
+			}
+		}
+	}
+	if pkg != nil {
+		sort.Strings(pkg.InternalImports)
+		m.Pkgs = append(m.Pkgs, pkg)
+		m.ByRel[pkg.RelPath] = pkg
+	}
+	return nil
+}
+
+// internalRel maps an import path to a module-root-relative path, reporting
+// whether it names a package of this module.
+func (m *Module) internalRel(importPath string) (string, bool) {
+	if importPath == m.Path {
+		return "", true
+	}
+	if rest, ok := strings.CutPrefix(importPath, m.Path+"/"); ok {
+		return rest, true
+	}
+	return "", false
+}
+
+// typecheck runs go/types over every package in dependency order. Stdlib
+// imports are resolved by the source importer (type-checked from $GOROOT
+// source — no export data or network needed); module-internal imports
+// resolve to the packages checked earlier in the order.
+func (m *Module) typecheck() error {
+	order, err := m.topo()
+	if err != nil {
+		return err
+	}
+	imp := &moduleImporter{
+		mod:    m,
+		source: importer.ForCompiler(m.Fset, "source", nil),
+	}
+	for _, pkg := range order {
+		conf := types.Config{Importer: imp, FakeImportC: true}
+		info := &types.Info{
+			Types: map[ast.Expr]types.TypeAndValue{},
+			Uses:  map[*ast.Ident]types.Object{},
+			Defs:  map[*ast.Ident]types.Object{},
+		}
+		tpkg, err := conf.Check(pkg.ImportPath, m.Fset, pkg.Files, info)
+		if err != nil {
+			return fmt.Errorf("srccheck: type-checking %s: %w", pkg.ImportPath, err)
+		}
+		pkg.Types = tpkg
+		pkg.Info = info
+	}
+	return nil
+}
+
+// topo orders the packages so every internal import precedes its importer.
+func (m *Module) topo() ([]*Package, error) {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var order []*Package
+	var visit func(p *Package, chain []string) error
+	visit = func(p *Package, chain []string) error {
+		switch color[p.RelPath] {
+		case black:
+			return nil
+		case grey:
+			return fmt.Errorf("srccheck: import cycle: %s", strings.Join(append(chain, p.ImportPath), " -> "))
+		}
+		color[p.RelPath] = grey
+		for _, dep := range p.InternalImports {
+			if d, ok := m.ByRel[dep]; ok {
+				if err := visit(d, append(chain, p.ImportPath)); err != nil {
+					return err
+				}
+			}
+		}
+		color[p.RelPath] = black
+		order = append(order, p)
+		return nil
+	}
+	for _, p := range m.Pkgs {
+		if err := visit(p, nil); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImporter resolves module-internal imports to already-checked
+// packages and delegates everything else to the stdlib source importer.
+type moduleImporter struct {
+	mod    *Module
+	source types.Importer
+}
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	if rel, ok := mi.mod.internalRel(path); ok {
+		pkg, found := mi.mod.ByRel[rel]
+		if !found || pkg.Types == nil {
+			return nil, fmt.Errorf("internal package %s not loaded (import cycle?)", path)
+		}
+		return pkg.Types, nil
+	}
+	return mi.source.Import(path)
+}
+
+// position converts a token.Pos into a module-relative finding anchor.
+func (m *Module) position(pos token.Pos) (file string, line, col int) {
+	p := m.Fset.Position(pos)
+	f := p.Filename
+	if rel, err := filepath.Rel(m.Root, f); err == nil && !strings.HasPrefix(rel, "..") {
+		f = filepath.ToSlash(rel)
+	}
+	return f, p.Line, p.Column
+}
+
+// symbolFor names the innermost function declaration enclosing pos in file
+// ("(*Core).cycle", "Run"), or "" at file scope.
+func symbolFor(file *ast.File, pos token.Pos) string {
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || pos < fd.Pos() || pos > fd.End() {
+			continue
+		}
+		return funcSymbol(fd)
+	}
+	return ""
+}
+
+// funcSymbol renders a FuncDecl's receiver-qualified name.
+func funcSymbol(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	recv := typeExprString(fd.Recv.List[0].Type)
+	return recv + "." + fd.Name.Name
+}
+
+func typeExprString(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return "(*" + typeExprString(t.X) + ")"
+	case *ast.IndexExpr:
+		return typeExprString(t.X)
+	case *ast.IndexListExpr:
+		return typeExprString(t.X)
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,92 @@
+package srccheck
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ReportSchema versions the ddvet -json wire format, mirroring the
+// ddlint/ddbench schema discipline: consumers hard-fail on an unknown
+// schema string instead of misreading moved fields.
+const ReportSchema = "ddvet/v1"
+
+// Report is the ddvet/v1 JSON document.
+type Report struct {
+	Schema string `json:"schema"`
+	// Module is the module path that was analyzed.
+	Module string `json:"module"`
+	// Findings is every finding, baselined or new, sorted by position; the
+	// empty slice (not null) when the tree is clean.
+	Findings []Finding `json:"findings"`
+	// StaleBaseline lists baseline entries matching no current finding —
+	// paid-off debt whose rows should be deleted from the baseline file.
+	StaleBaseline []BaselineEntry `json:"stale_baseline"`
+	Summary       Summary         `json:"summary"`
+}
+
+// Summary are the counts the exit code derives from.
+type Summary struct {
+	Total     int `json:"total"`
+	New       int `json:"new"`
+	Baselined int `json:"baselined"`
+	Stale     int `json:"stale_baseline_entries"`
+}
+
+// NewReport assembles the report for a finished run.
+func NewReport(mod *Module, findings []Finding, stale []BaselineEntry) *Report {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	if stale == nil {
+		stale = []BaselineEntry{}
+	}
+	r := &Report{
+		Schema:        ReportSchema,
+		Module:        mod.Path,
+		Findings:      findings,
+		StaleBaseline: stale,
+	}
+	for _, f := range findings {
+		r.Summary.Total++
+		if f.Baselined {
+			r.Summary.Baselined++
+		} else {
+			r.Summary.New++
+		}
+	}
+	r.Summary.Stale = len(stale)
+	return r
+}
+
+// WriteJSON emits the indented ddvet/v1 document.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText renders the human-readable report.
+func (r *Report) WriteText(w io.Writer) {
+	for _, f := range r.Findings {
+		tag := ""
+		if f.Baselined {
+			tag = " (baselined)"
+		}
+		fmt.Fprintf(w, "%s%s\n", f, tag)
+	}
+	for _, e := range r.StaleBaseline {
+		fmt.Fprintf(w, "stale baseline entry: %s %s %s: %s (delete it — the finding is gone)\n",
+			e.Rule, e.File, e.Symbol, e.Message)
+	}
+	fmt.Fprintf(w, "ddvet: %d finding(s): %d new, %d baselined; %d stale baseline entr%s\n",
+		r.Summary.Total, r.Summary.New, r.Summary.Baselined,
+		r.Summary.Stale, plural(r.Summary.Stale, "y", "ies"))
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}

@@ -1,0 +1,6 @@
+// Command tool is a fixture: cmd/* may import cliutil.
+package main
+
+import "clean/internal/cliutil"
+
+func main() { _ = cliutil.Flags() }

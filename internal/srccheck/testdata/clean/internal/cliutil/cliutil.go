@@ -1,0 +1,5 @@
+// Package cliutil is a fixture restricted to cmd/* importers.
+package cliutil
+
+// Flags is a placeholder.
+func Flags() uint64 { return 0 }

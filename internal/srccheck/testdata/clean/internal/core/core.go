@@ -1,0 +1,22 @@
+// Package core is a fixture of legitimate patterns the determinism
+// checker must accept.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Campaign draws from an explicitly seeded generator — reproducible.
+func Campaign(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(16)
+}
+
+// Wall uses the clock behind a reasoned allow, both placement forms.
+func Wall() int64 {
+	//ddvet:allow det-time-now -- fixture: wall-clock is measurement-only here
+	t := time.Now().Unix()
+	u := time.Now().Unix() //ddvet:allow det-time-now -- fixture: trailing form
+	return t + u
+}

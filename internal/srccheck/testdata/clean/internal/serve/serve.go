@@ -1,0 +1,18 @@
+// Package serve is a fixture of taxonomy-conforming error handling.
+package serve
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrQueueFull is a package-level sentinel — the conforming form.
+var ErrQueueFull = errors.New("serve: queue full")
+
+// Submit wraps causes and sentinels with %w.
+func Submit(depth, cap int) error {
+	if depth >= cap {
+		return fmt.Errorf("%w: depth %d", ErrQueueFull, depth)
+	}
+	return nil
+}

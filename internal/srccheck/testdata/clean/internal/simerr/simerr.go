@@ -1,0 +1,6 @@
+// Package simerr is a fixture leaf with no internal imports — the
+// conforming shape.
+package simerr
+
+// Kind is a placeholder.
+type Kind uint8

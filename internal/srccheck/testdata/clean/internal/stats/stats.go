@@ -1,0 +1,44 @@
+// Package stats is a fixture of deterministic map-iteration idioms: every
+// loop here must pass the determinism checker.
+package stats
+
+import "sort"
+
+// Sum is an order-independent reduction.
+func Sum(m map[int]uint64) uint64 {
+	var total uint64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Max is an order-independent conditional update.
+func Max(m map[int]uint64) int {
+	best := 0
+	for v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Keys collects then sorts — the canonical deterministic iteration idiom.
+func Keys(m map[int]uint64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Mirror writes into another map — order-independent.
+func Mirror(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

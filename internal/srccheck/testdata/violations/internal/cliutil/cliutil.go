@@ -1,0 +1,5 @@
+// Package cliutil is a fixture: flag-surface glue restricted to cmd/*.
+package cliutil
+
+// Flags is a placeholder.
+func Flags() uint64 { return 0 }

@@ -1,0 +1,28 @@
+// Package core is a fixture seeding determinism violations: every
+// construct here must be flagged by ddvet's determinism checker.
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"violations/internal/serve"
+)
+
+// Tick leaks wall-clock and unseeded randomness into simulation state.
+func Tick() uint64 {
+	t := uint64(time.Now().UnixNano()) // det-time-now
+	t += uint64(rand.Intn(16))         // det-rand
+	//ddvet:allow det-time-now
+	t += uint64(time.Now().Unix()) // allow-malformed (no reason), so det-time-now still fires
+	return t + serve.Depth()
+}
+
+// Names appends in map-iteration order without sorting afterwards.
+func Names(m map[string]int) []string {
+	var out []string
+	for k := range m { // det-map-iter
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,15 @@
+// Package experiments is a fixture seeding error-taxonomy violations.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Run mints unclassifiable errors.
+func Run(id string) error {
+	if id == "" {
+		return errors.New("experiments: empty id") // err-adhoc-new
+	}
+	return fmt.Errorf("experiments: unknown experiment %q", id) // err-naked-errorf
+}

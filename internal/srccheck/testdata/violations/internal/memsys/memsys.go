@@ -1,0 +1,8 @@
+// Package memsys is a fixture: the mechanism layer importing the machine
+// that drives it.
+package memsys
+
+import "violations/internal/core" // layer-forbid (direct)
+
+// Occupancy is a placeholder using the forbidden import.
+func Occupancy() uint64 { return core.Tick() }

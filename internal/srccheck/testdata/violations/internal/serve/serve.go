@@ -1,0 +1,20 @@
+// Package serve is a fixture: an output package with order-sensitive map
+// iteration, and an importer of cliutil from outside cmd/.
+package serve
+
+import (
+	"fmt"
+	"os"
+
+	"violations/internal/cliutil" // layer-only-from
+)
+
+// Depth returns a queue depth.
+func Depth() uint64 { return cliutil.Flags() }
+
+// Dump writes counters in map-iteration order.
+func Dump(byKind map[string]uint64) {
+	for k, v := range byKind { // det-map-iter (output package)
+		fmt.Fprintf(os.Stdout, "%s=%d\n", k, v)
+	}
+}

@@ -1,0 +1,11 @@
+// Package simerr is a fixture: a declared leaf that imports another
+// internal package.
+package simerr
+
+import "violations/internal/stats" // layer-leaf
+
+// Kind is a placeholder.
+type Kind uint8
+
+// Mean is a placeholder using the forbidden import.
+func Mean() float64 { return stats.Mean() }

@@ -1,0 +1,5 @@
+// Package stats is a fixture leaf used by the seeded layering violations.
+package stats
+
+// Mean is a placeholder.
+func Mean() float64 { return 0 }
