@@ -22,6 +22,10 @@
 // scale). Changed deterministic cycle counts are flagged per workload;
 // with -cyclecheck any such change also fails the gate, which is how CI
 // asserts the tick and event engines simulate the identical machine.
+// Exit codes distinguish the gate's verdict from unusable input: 1 means
+// the candidate regressed (the change is at fault), 2 means a report was
+// unreadable, schema-mismatched or scale-incomparable (the invocation is
+// at fault and retrying without fixing it cannot succeed).
 //
 // -engine selects the run loop (event cycle skipping by default, tick for
 // the per-cycle reference); -cpuprofile, -memprofile and -trace capture
@@ -31,6 +35,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -75,7 +80,7 @@ func main() {
 	}
 
 	if *compare != "" {
-		code := runCompare(*compare, *against, *tol, *cycheck, engine)
+		code := runCompare(os.Stdout, os.Stderr, *compare, *against, *tol, *cycheck, engine)
 		stopProfiles()
 		os.Exit(code)
 	}
@@ -123,37 +128,45 @@ func main() {
 	}
 }
 
-// runCompare executes the perf-regression gate and returns the exit code:
-// 0 within tolerance, 1 on a regression or (under cyclecheck) on any
-// deterministic cycle-count difference. The report goes to stdout either
-// way.
-func runCompare(baselinePath, candidatePath string, tolerance float64, cyclecheck bool, engine core.Engine) int {
+// runCompare executes the perf-regression gate and returns the exit
+// code: 0 within tolerance; ExitRunFailure (1) on a regression, on a
+// cyclecheck mismatch, or when the fresh candidate benchmark itself
+// failed; ExitUsage (2) when a report is unreadable, schema-mismatched
+// or scale-incomparable. The report goes to stdout either way; all
+// diagnostics to stderr.
+func runCompare(stdout, stderr io.Writer, baselinePath, candidatePath string, tolerance float64, cyclecheck bool, engine core.Engine) int {
 	baseline, err := experiments.ReadBenchReport(baselinePath)
 	if err != nil {
-		cliutil.FatalSim("ddbench", err)
+		cliutil.ReportSim(stderr, "ddbench", err)
+		return cliutil.ExitUsage
 	}
 	var candidate *experiments.BenchReport
 	if candidatePath != "" {
 		if candidate, err = experiments.ReadBenchReport(candidatePath); err != nil {
-			cliutil.FatalSim("ddbench", err)
+			cliutil.ReportSim(stderr, "ddbench", err)
+			return cliutil.ExitUsage
 		}
 	} else {
-		fmt.Fprintf(os.Stderr, "ddbench: benchmarking fresh candidate at scale %g\n", baseline.Scale)
+		fmt.Fprintf(stderr, "ddbench: benchmarking fresh candidate at scale %g\n", baseline.Scale)
 		if candidate, err = experiments.BenchEngine(baseline.Scale, engine); err != nil {
-			cliutil.FatalSim("ddbench", err)
+			// The simulation failed, not the invocation: a run failure.
+			cliutil.ReportSim(stderr, "ddbench", err)
+			return cliutil.ExitRunFailure
 		}
 	}
 	cmp, err := experiments.CompareBench(baseline, candidate)
 	if err != nil {
-		cliutil.FatalSim("ddbench", err)
+		// ErrBadReport / ErrScaleMismatch: the inputs are not comparable.
+		cliutil.ReportSim(stderr, "ddbench", err)
+		return cliutil.ExitUsage
 	}
-	fmt.Print(cmp.Render(tolerance))
+	fmt.Fprint(stdout, cmp.Render(tolerance))
 	if cmp.Regressed(tolerance) {
-		return 1
+		return cliutil.ExitRunFailure
 	}
 	if cyclecheck && cmp.AnyCyclesChanged() {
-		fmt.Println("CYCLE MISMATCH: deterministic cycle counts differ between the reports")
-		return 1
+		fmt.Fprintln(stdout, "CYCLE MISMATCH: deterministic cycle counts differ between the reports")
+		return cliutil.ExitRunFailure
 	}
 	return 0
 }

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+// The -compare exit-code contract: 0 within tolerance, 1 when the
+// candidate regressed (the change under test is at fault), 2 when a
+// report is unusable (the invocation is at fault). CI keys on the split.
+
+func writeReport(t *testing.T, name string, rep *experiments.BenchReport) string {
+	t.Helper()
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func benchFixture(minstPerSec float64, cycles uint64) *experiments.BenchReport {
+	const committed = 1_000_000
+	secs := committed / 1e6 / minstPerSec
+	return &experiments.BenchReport{
+		Schema: experiments.BenchSchema,
+		Scale:  0.1,
+		Config: "(3+2)",
+		Workloads: []experiments.BenchEntry{{
+			Workload:    "li",
+			Cycles:      cycles,
+			Committed:   committed,
+			WallSeconds: secs,
+			MinstPerSec: minstPerSec,
+		}},
+		TotalMinst: committed / 1e6,
+		TotalSecs:  secs,
+	}
+}
+
+func compareCode(t *testing.T, baseline, candidate string, cyclecheck bool) (int, string, string) {
+	t.Helper()
+	var stdout, stderr strings.Builder
+	code := runCompare(&stdout, &stderr, baseline, candidate, 0.05, cyclecheck, core.EngineEvent)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestCompareExitCodes(t *testing.T) {
+	okBase := writeReport(t, "base.json", benchFixture(10, 5000))
+
+	t.Run("within tolerance exits 0", func(t *testing.T) {
+		cand := writeReport(t, "cand.json", benchFixture(9.8, 5000))
+		code, stdout, _ := compareCode(t, okBase, cand, true)
+		if code != 0 {
+			t.Fatalf("code = %d, want 0\n%s", code, stdout)
+		}
+	})
+
+	t.Run("regression exits 1", func(t *testing.T) {
+		cand := writeReport(t, "cand.json", benchFixture(5, 5000))
+		code, stdout, _ := compareCode(t, okBase, cand, false)
+		if code != cliutil.ExitRunFailure {
+			t.Fatalf("code = %d, want %d\n%s", code, cliutil.ExitRunFailure, stdout)
+		}
+	})
+
+	t.Run("cyclecheck mismatch exits 1", func(t *testing.T) {
+		cand := writeReport(t, "cand.json", benchFixture(10, 5001))
+		code, stdout, _ := compareCode(t, okBase, cand, true)
+		if code != cliutil.ExitRunFailure || !strings.Contains(stdout, "CYCLE MISMATCH") {
+			t.Fatalf("code = %d, stdout:\n%s", code, stdout)
+		}
+		// Without -cyclecheck a cycle change alone does not fail the gate.
+		if code, _, _ := compareCode(t, okBase, cand, false); code != 0 {
+			t.Fatalf("cyclecheck off: code = %d, want 0", code)
+		}
+	})
+
+	t.Run("missing baseline exits 2", func(t *testing.T) {
+		code, _, stderr := compareCode(t, filepath.Join(t.TempDir(), "nope.json"), okBase, false)
+		if code != cliutil.ExitUsage {
+			t.Fatalf("code = %d, want %d\n%s", code, cliutil.ExitUsage, stderr)
+		}
+	})
+
+	t.Run("corrupt candidate exits 2", func(t *testing.T) {
+		dir := t.TempDir()
+		bad := filepath.Join(dir, "bad.json")
+		if err := os.WriteFile(bad, []byte("{torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		code, _, stderr := compareCode(t, okBase, bad, false)
+		if code != cliutil.ExitUsage {
+			t.Fatalf("code = %d, want %d\n%s", code, cliutil.ExitUsage, stderr)
+		}
+	})
+
+	t.Run("wrong schema exits 2", func(t *testing.T) {
+		rep := benchFixture(10, 5000)
+		rep.Schema = "ddbench/v0"
+		stale := writeReport(t, "stale.json", rep)
+		code, _, stderr := compareCode(t, okBase, stale, false)
+		if code != cliutil.ExitUsage || !strings.Contains(stderr, "schema") {
+			t.Fatalf("code = %d, stderr:\n%s", code, stderr)
+		}
+	})
+
+	t.Run("scale mismatch exits 2", func(t *testing.T) {
+		rep := benchFixture(10, 5000)
+		rep.Scale = 0.5
+		other := writeReport(t, "other.json", rep)
+		code, _, stderr := compareCode(t, okBase, other, false)
+		if code != cliutil.ExitUsage || !strings.Contains(stderr, "scale") {
+			t.Fatalf("code = %d, stderr:\n%s", code, stderr)
+		}
+	})
+}

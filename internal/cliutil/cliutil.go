@@ -58,6 +58,22 @@ func (b *Budget) RunOptions() core.RunOptions {
 	return opts
 }
 
+// Shared exit codes. The split matters to CI and scripts: exit 1 means
+// the run itself failed or regressed (re-running or investigating the
+// change may help); exit 2 means the invocation is wrong — bad flags, an
+// unreadable or schema-mismatched input — and retrying without fixing it
+// cannot succeed.
+const (
+	ExitRunFailure = 1
+	ExitUsage      = 2
+)
+
+// FatalUsage reports a usage or input-schema error and exits ExitUsage.
+func FatalUsage(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(ExitUsage)
+}
+
 // ReportSim writes err prefixed by the tool name, and, when err carries a
 // typed simulation failure, the full pipeline snapshot (the watchdog/abort
 // state dump) after it.

@@ -28,6 +28,7 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		s.readyProbes.Add(1)
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if s.draining.Load() {
 			w.WriteHeader(http.StatusServiceUnavailable)
@@ -94,6 +95,12 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
+	// The job's cache identity, exposed so clients that submit the same
+	// job twice (sweep hedging, retries on another connection) can see
+	// the duplicates are the same unit of work. Identical in-flight jobs
+	// coalesce onto one simulation server-side (the runner's in-flight
+	// table), so hedged duplicates are idempotent by construction.
+	w.Header().Set("X-Job-Key", rj.key)
 
 	// Persistent cache: a hit answers without touching the queue, so
 	// repeated sweeps cost disk reads, not simulator time or queue slots.
@@ -124,6 +131,14 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	<-j.done
 	if j.err != nil {
 		status, body := errorResponse(j)
+		if status == http.StatusServiceUnavailable {
+			// A drain-mode 503 (the run was force-cancelled by the drain
+			// deadline) carries the same backpressure hint as an admission
+			// shed, so client backoff is uniform across both 503 paths.
+			after := s.retryAfterSeconds()
+			w.Header().Set("Retry-After", strconv.Itoa(after))
+			body.RetryAfterSeconds = after
+		}
 		writeError(w, status, body)
 		return
 	}

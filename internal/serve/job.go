@@ -12,6 +12,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/workload"
 )
 
@@ -44,6 +45,11 @@ type JobSpec struct {
 	// Steer is the steering policy name (hint, sp, oracle, dual, static,
 	// spec; default hint).
 	Steer string `json:"steer,omitempty"`
+	// Engine selects the run loop (event, tick; default event). Both
+	// engines are bit-identical by construction; the field exists so
+	// sweeps can grid over engines as a standing differential check. The
+	// engine is part of the job's cache identity.
+	Engine string `json:"engine,omitempty"`
 	// Strip removes compiler hints from the program before simulating.
 	Strip bool `json:"strip,omitempty"`
 	// MaxInsts bounds committed instructions (0 = run to halt).
@@ -104,8 +110,9 @@ type ErrorBody struct {
 // source (workload or assembled image), the cache identity, and the
 // per-attempt timeout.
 type resolvedJob struct {
-	spec JobSpec
-	cfg  config.Config
+	spec   JobSpec
+	cfg    config.Config
+	engine core.Engine
 
 	// Exactly one of w (workload jobs) and prog (program jobs) is live.
 	w        workload.Workload
@@ -147,36 +154,26 @@ func (s *Server) resolveSpec(spec JobSpec) (*resolvedJob, error) {
 		return nil, badRequest("exactly one of \"workload\" and \"program\" must be set")
 	}
 
-	// Machine configuration, mirroring the ddsim flag surface.
-	ports := spec.Ports
-	if ports == "" {
-		ports = "2+0"
+	// Machine configuration, mirroring the ddsim flag surface through the
+	// shared grid-point mapping (a sweep point and the job it becomes
+	// resolve identically by construction).
+	point := experiments.GridPoint{
+		Ports:     spec.Ports,
+		Steering:  spec.Steer,
+		Engine:    spec.Engine,
+		Opt:       spec.Opt,
+		Combine:   spec.Combine,
+		StaticOpt: spec.StaticOpt,
+		MaxInsts:  spec.MaxInsts,
 	}
-	n, m, err := config.ParseNM(ports)
+	cfg, err := point.Config()
 	if err != nil {
-		return nil, badRequest("bad ports: %v", err)
-	}
-	cfg := config.Default().WithPorts(n, m)
-	if spec.Opt || spec.StaticOpt {
-		cfg = cfg.WithOptimizations(2)
-	}
-	if spec.Combine > 0 {
-		cfg.CombineWidth = spec.Combine
-	}
-	if spec.StaticOpt {
-		cfg.ForwardStatic = true
-		cfg.CombineStatic = cfg.CombineWidth > 1
-	}
-	steer, err := config.ParseSteering(spec.Steer)
-	if err != nil {
-		return nil, badRequest("bad steer: %v", err)
-	}
-	cfg.Steering = steer
-	cfg.MaxInsts = spec.MaxInsts
-	if err := cfg.Validate(); err != nil {
-		return nil, badRequest("bad config: %v", err)
+		return nil, badRequest("%v", err)
 	}
 	rj.cfg = cfg
+	if rj.engine, err = point.RunEngine(); err != nil {
+		return nil, badRequest("bad engine: %v", err)
+	}
 
 	var srcID string
 	switch {
@@ -216,7 +213,11 @@ func (s *Server) resolveSpec(spec JobSpec) (*resolvedJob, error) {
 		rj.progName = "serve:" + srcID
 	}
 
-	rj.identity = srcID + "|" + cfg.Key()
+	// The engine is part of the identity: both engines are bit-identical
+	// by construction, but a sweep gridding over them as a differential
+	// check must never have one engine's run answered from the other's
+	// cache slot.
+	rj.identity = srcID + "|" + cfg.Key() + "|eng=" + rj.engine.String()
 	sum := sha256.Sum256([]byte(rj.identity))
 	rj.key = hex.EncodeToString(sum[:16])
 	shardSum := sha256.Sum256([]byte(cfg.Key()))

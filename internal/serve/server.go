@@ -155,6 +155,7 @@ type Server struct {
 	// counters for /statz
 	submitted, completed, failed, canceledJobs  atomic.Uint64
 	shedFull, shedClient, shedDraining, retries atomic.Uint64
+	readyProbes                                 atomic.Uint64
 	inFlight                                    atomic.Int64
 	kindMu                                      sync.Mutex
 	byKind                                      map[string]uint64
@@ -295,6 +296,7 @@ func (s *Server) runAttempt(j *job, attempt int) (*core.Result, error) {
 		opts = s.opts.JobRunOpts(j.rj.key, attempt)
 	}
 	opts.Deadline = time.Time{} // wall-clock bounding belongs to the context
+	opts.Engine = j.rj.engine   // the job's engine selection always wins
 
 	ctx, cancel := context.WithTimeout(j.ctx, j.rj.timeout)
 	defer cancel()
@@ -415,6 +417,9 @@ type Statz struct {
 	ShedClientLimit uint64 `json:"shed_client_limit"`
 	ShedDraining    uint64 `json:"shed_draining"`
 	Retries         uint64 `json:"retries"`
+	// ReadyProbes counts /readyz hits: under a sweep coordinator's
+	// per-backend health probing this confirms the probe loop is alive.
+	ReadyProbes uint64 `json:"ready_probes"`
 
 	FailuresByKind map[string]uint64 `json:"failures_by_kind"`
 
@@ -452,6 +457,7 @@ func (s *Server) statz() Statz {
 		ShedClientLimit: s.shedClient.Load(),
 		ShedDraining:    s.shedDraining.Load(),
 		Retries:         s.retries.Load(),
+		ReadyProbes:     s.readyProbes.Load(),
 		FailuresByKind:  byKind,
 		Cache:           s.cache.stats(),
 		RunnerResults:   runnerResults,

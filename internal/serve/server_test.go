@@ -248,6 +248,10 @@ func TestQueueFullSheds(t *testing.T) {
 		return nil, &simerr.SimError{Kind: simerr.KindCanceled, Reason: "test"}
 	}
 
+	// Fill the pool, then the queue, sequentially: posting both hogs at
+	// once races the worker's dequeue — the second hog can arrive while
+	// the first is still queued and be shed itself, and the expected
+	// 1-in-flight + 1-queued state never forms.
 	var wg sync.WaitGroup
 	for i := 0; i < 2; i++ { // 1 in-flight + 1 queued
 		wg.Add(1)
@@ -255,10 +259,9 @@ func TestQueueFullSheds(t *testing.T) {
 			defer wg.Done()
 			postJob(t, ts, "hog", fmt.Sprintf(`{"workload":"li","scale":0.0%d}`, i+1))
 		}(i)
+		want := func() bool { return int(s.inFlight.Load()) == 1 && s.q.Depth() == i }
+		waitFor(t, 2*time.Second, want)
 	}
-	waitFor(t, 2*time.Second, func() bool {
-		return int(s.inFlight.Load()) == 1 && s.q.Depth() == 1
-	})
 
 	status, data, hdr := postJob(t, ts, "other", `{"workload":"li","scale":0.03}`)
 	if status != http.StatusTooManyRequests {
@@ -291,6 +294,8 @@ func TestPerClientLimitSheds(t *testing.T) {
 		return nil, &simerr.SimError{Kind: simerr.KindCanceled, Reason: "test"}
 	}
 
+	// Sequential posts, as in TestQueueFullSheds: a concurrent second
+	// post can be client-limit-shed while the first is still queued.
 	var wg sync.WaitGroup
 	for i := 0; i < 2; i++ { // greedy: 1 in-flight + 1 queued
 		wg.Add(1)
@@ -298,10 +303,9 @@ func TestPerClientLimitSheds(t *testing.T) {
 			defer wg.Done()
 			postJob(t, ts, "greedy", fmt.Sprintf(`{"workload":"li","scale":0.0%d}`, i+1))
 		}(i)
+		want := func() bool { return int(s.inFlight.Load()) == 1 && s.q.Depth() == i }
+		waitFor(t, 2*time.Second, want)
 	}
-	waitFor(t, 2*time.Second, func() bool {
-		return int(s.inFlight.Load()) == 1 && s.q.Depth() == 1
-	})
 
 	status, data, _ := postJob(t, ts, "greedy", `{"workload":"li","scale":0.03}`)
 	if status != http.StatusTooManyRequests {

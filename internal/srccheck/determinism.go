@@ -21,12 +21,18 @@ import (
 //	               writing output, early exit) makes output byte-unstable
 //	               across runs. Order-independent reductions (sums, max,
 //	               set/map writes) and the collect-then-sort idiom pass.
+//	det-goroutine-order   in a concurrent-collection package, ranging over
+//	               a channel and appending received values to a slice bakes
+//	               goroutine scheduling order into the result. Worker loops
+//	               that only dispatch (calls, indexed writes into pre-sized
+//	               slices) and the collect-then-sort idiom pass.
 func checkDeterminism(m *Module, cfg *Config) []Finding {
 	var out []Finding
 	for _, pkg := range m.Pkgs {
 		det := pkgListed(pkg.RelPath, cfg.DetPackages)
 		mapScope := det || pkgListed(pkg.RelPath, cfg.OutputPackages)
-		if !det && !mapScope {
+		conc := pkgListed(pkg.RelPath, cfg.ConcPackages)
+		if !det && !mapScope && !conc {
 			continue
 		}
 		for i, file := range pkg.Files {
@@ -59,20 +65,32 @@ func checkDeterminism(m *Module, cfg *Config) []Finding {
 						}
 					}
 				case *ast.RangeStmt:
-					if !mapScope || node.X == nil {
+					if node.X == nil {
 						return true
 					}
 					t := pkg.Info.Types[node.X].Type
 					if t == nil {
 						return true
 					}
-					if _, isMap := t.Underlying().(*types.Map); !isMap {
-						return true
-					}
-					if reason, sensitive := orderSensitive(pkg, file, node); sensitive {
-						out = append(out, m.finding("det-map-iter", pkg, file, fileName, node.Pos(),
-							"order-sensitive iteration over a map",
-							append([]string{"map iteration order varies between runs"}, reason...)))
+					switch t.Underlying().(type) {
+					case *types.Map:
+						if !mapScope {
+							return true
+						}
+						if reason, sensitive := orderSensitive(pkg, file, node); sensitive {
+							out = append(out, m.finding("det-map-iter", pkg, file, fileName, node.Pos(),
+								"order-sensitive iteration over a map",
+								append([]string{"map iteration order varies between runs"}, reason...)))
+						}
+					case *types.Chan:
+						if !conc {
+							return true
+						}
+						if reason := chanOrderSensitive(pkg, file, node); len(reason) > 0 {
+							out = append(out, m.finding("det-goroutine-order", pkg, file, fileName, node.Pos(),
+								"order-sensitive accumulation from a channel",
+								append([]string{"with concurrent senders, channel arrival order is scheduling order"}, reason...)))
+						}
 					}
 				}
 				return true
@@ -159,6 +177,39 @@ func orderSensitive(pkg *Package, file *ast.File, rng *ast.RangeStmt) (reasons [
 		}
 	}
 	return reasons, len(reasons) > 0
+}
+
+// chanOrderSensitive classifies a range-over-channel body in a
+// concurrent-collection package. Appending received values to a slice is
+// the hazard: with more than one sender, arrival order is goroutine
+// scheduling order, and the append bakes it into the result. Everything
+// a worker loop legitimately does passes — calls (dispatching the work),
+// indexed writes into pre-sized slices (results[i] = r is placed by
+// identity, not arrival), map writes, scalar reductions — and appended
+// slices that a later statement of the same function sorts are fine.
+func chanOrderSensitive(pkg *Package, file *ast.File, rng *ast.RangeStmt) (reasons []string) {
+	var appendTargets []*ast.Ident
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, isBuiltin := builtinName(pkg, call); isBuiltin && name == "append" {
+			if id := assignedIdent(rng.Body, call); id != nil {
+				appendTargets = append(appendTargets, id)
+			} else {
+				reasons = append(reasons, "appends received values in arrival order")
+			}
+		}
+		return true
+	})
+	for _, id := range appendTargets {
+		if !sortedLater(pkg, file, rng, id) {
+			reasons = append(reasons,
+				"appends to "+id.Name+" in channel arrival order without sorting it afterwards")
+		}
+	}
+	return reasons
 }
 
 // assignedIdent returns the identifier an `x = append(x, ...)` statement

@@ -102,6 +102,11 @@ type Config struct {
 	// OutputPackages are additionally checked for order-sensitive map
 	// iteration (serialized output must be byte-stable across runs).
 	OutputPackages []string
+	// ConcPackages fan results in from concurrent producers: ranging over
+	// a channel there must not accumulate into a slice in arrival order
+	// (scheduling order would leak into output). The conforming idioms are
+	// indexed writes into pre-sized slices and collect-then-sort.
+	ConcPackages []string
 	// ErrPackages carry the simerr taxonomy across package boundaries: no
 	// naked fmt.Errorf, no ad-hoc errors.New inside function bodies.
 	ErrPackages []string
@@ -123,9 +128,13 @@ func DefaultConfig() *Config {
 			"internal/core", "internal/memsys", "internal/sched",
 			"internal/emu", "internal/stats", "internal/experiments",
 		},
-		// serve's wall-clock/jitter use is legitimate service plumbing, but
-		// its serialized output (/statz, job results) must be byte-stable.
-		OutputPackages: []string{"internal/serve"},
+		// serve's and sweep's wall-clock/jitter use is legitimate service
+		// plumbing, but their serialized output (/statz, job results, figure
+		// JSON, census) must be byte-stable.
+		OutputPackages: []string{"internal/serve", "internal/sweep"},
+		// The service worker pool and the sweep coordinator collect results
+		// from concurrent goroutines: arrival order must never reach a slice.
+		ConcPackages: []string{"internal/serve", "internal/sweep"},
 		ErrPackages: []string{
 			"internal/core", "internal/serve", "internal/experiments",
 		},
@@ -204,7 +213,13 @@ func RunModule(mod *Module, cfg *Config) []Finding {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		// Same rule at the same position (one import spec violating two
+		// layer constraints): break the tie on the message so the order
+		// never depends on sort-internal pivot choices.
+		return a.Message < b.Message
 	})
 	return all
 }

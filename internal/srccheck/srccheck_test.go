@@ -34,7 +34,7 @@ func TestViolationsFixture(t *testing.T) {
 		byRule[f.Rule] = append(byRule[f.Rule], f)
 	}
 	wantRules := []string{
-		"det-time-now", "det-rand", "det-map-iter",
+		"det-time-now", "det-rand", "det-map-iter", "det-goroutine-order",
 		"layer-leaf", "layer-forbid", "layer-only-from",
 		"err-naked-errorf", "err-adhoc-new",
 		"hotpath-alloc", "hotpath-append", "hotpath-closure", "hotpath-fmt",
@@ -113,6 +113,23 @@ func TestViolationsDetail(t *testing.T) {
 	}
 	if got := find("det-time-now", "internal/serve/serve.go"); len(got) != 0 {
 		t.Errorf("det-time-now must not apply to output-only packages, got %d", len(got))
+	}
+
+	// Concurrent-collection packages are in det-goroutine-order scope: the
+	// arrival-order append fires and names the slice in its reason chain.
+	gor := find("det-goroutine-order", "internal/serve/serve.go")
+	if len(gor) != 1 {
+		t.Errorf("det-goroutine-order in serve.go: got %d, want 1", len(gor))
+	} else {
+		var named bool
+		for _, r := range gor[0].Reason {
+			if strings.Contains(r, "appends to out") {
+				named = true
+			}
+		}
+		if !named {
+			t.Errorf("det-goroutine-order reason chain does not name the slice: %v", gor[0].Reason)
+		}
 	}
 
 	// Canned escape diags inside the annotated Drain become findings; the

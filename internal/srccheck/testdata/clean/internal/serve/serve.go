@@ -4,6 +4,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // ErrQueueFull is a package-level sentinel — the conforming form.
@@ -15,4 +16,37 @@ func Submit(depth, cap int) error {
 		return fmt.Errorf("%w: depth %d", ErrQueueFull, depth)
 	}
 	return nil
+}
+
+// Work is the conforming worker loop: each received index is placed by
+// identity into a pre-sized slice, so arrival order never matters.
+func Work(todo <-chan int, run func(int) string) []string {
+	results := make([]string, 128)
+	for idx := range todo {
+		results[idx] = run(idx)
+	}
+	return results
+}
+
+// CollectSorted is the conforming accumulation: appended arrivals are
+// sorted before anyone can observe their order.
+func CollectSorted(done <-chan string) []string {
+	var keys []string
+	for k := range done {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Tally reduces commutatively: counts and map writes are order-blind.
+func Tally(done <-chan string) map[string]int {
+	n := 0
+	byKey := map[string]int{}
+	for k := range done {
+		n++
+		byKey[k]++
+	}
+	byKey[""] = n
+	return byKey
 }

@@ -18,3 +18,13 @@ func Dump(byKind map[string]uint64) {
 		fmt.Fprintf(os.Stdout, "%s=%d\n", k, v)
 	}
 }
+
+// Collect accumulates worker results in arrival order: with concurrent
+// senders that is goroutine scheduling order.
+func Collect(results <-chan string) []string {
+	var out []string
+	for r := range results { // det-goroutine-order (conc package)
+		out = append(out, r)
+	}
+	return out
+}

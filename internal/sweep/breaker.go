@@ -1,0 +1,147 @@
+package sweep
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit breaker.
+type breakerState int
+
+const (
+	// breakerClosed: traffic flows; consecutive transient failures are
+	// counted and trip the breaker open at the threshold.
+	breakerClosed breakerState = iota
+	// breakerOpen: no traffic until the cooldown passes, then the next
+	// acquire becomes the half-open probe.
+	breakerOpen
+	// breakerHalfOpen: exactly one probe job is in flight; its outcome
+	// closes the breaker or re-opens it for another cooldown.
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker guards one backend. Transient failures (transport errors,
+// sheds, retryable simerr kinds) feed it; terminal job failures prove
+// the backend responsive and reset it instead.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+
+	state       breakerState
+	consecutive int
+	openedAt    time.Time
+	probing     bool
+
+	opens uint64 // census: closed/half-open -> open transitions
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// acquire asks to dispatch one job. Closed always admits; open admits
+// nothing until the cooldown has passed, at which point the breaker
+// goes half-open and admits exactly one probe; half-open admits nothing
+// while the probe is out.
+func (b *breaker) acquire(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// admittable mirrors acquire without side effects: dispatch uses it to
+// filter candidates before committing to one with acquire.
+func (b *breaker) admittable(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		return now.Sub(b.openedAt) >= b.cooldown
+	default: // half-open
+		return !b.probing
+	}
+}
+
+// abandon releases an acquire whose job never reached a verdict (a
+// cancelled hedge loser): the half-open probe slot is freed so the next
+// dispatch can probe instead.
+func (b *breaker) abandon() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+}
+
+// success records a completed job: the breaker closes and the failure
+// streak resets.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.consecutive = 0
+	b.probing = false
+}
+
+// transient records a transient failure at time now: a failed half-open
+// probe re-opens immediately; a closed breaker opens once the streak
+// reaches the threshold.
+func (b *breaker) transient(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = now
+		b.probing = false
+		b.opens++
+	case breakerClosed:
+		if b.consecutive >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = now
+			b.opens++
+		}
+	}
+}
+
+// terminal records a terminal job failure: the backend answered, so the
+// streak resets (and a half-open probe counts as a successful probe).
+func (b *breaker) terminal() {
+	b.success()
+}
+
+// snapshot returns the current state and the open-transition count.
+func (b *breaker) snapshot() (breakerState, uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.opens
+}

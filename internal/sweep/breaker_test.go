@@ -1,0 +1,117 @@
+package sweep
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newBreaker(3, time.Second)
+
+	for i := 0; i < 2; i++ {
+		b.transient(now)
+		if !b.acquire(now) {
+			t.Fatalf("breaker opened after %d failures (threshold 3)", i+1)
+		}
+	}
+	b.transient(now)
+	if state, opens := b.snapshot(); state != breakerOpen || opens != 1 {
+		t.Fatalf("after threshold: state=%v opens=%d", state, opens)
+	}
+	if b.acquire(now.Add(500 * time.Millisecond)) {
+		t.Fatal("open breaker admitted a job before cooldown")
+	}
+	if b.admittable(now.Add(500 * time.Millisecond)) {
+		t.Fatal("open breaker reported admittable before cooldown")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newBreaker(1, time.Second)
+	b.transient(now) // threshold 1: open immediately
+
+	after := now.Add(time.Second)
+	if !b.admittable(after) {
+		t.Fatal("cooldown passed but not admittable")
+	}
+	if !b.acquire(after) {
+		t.Fatal("cooldown passed but probe denied")
+	}
+	if state, _ := b.snapshot(); state != breakerHalfOpen {
+		t.Fatalf("state=%v, want half-open", state)
+	}
+	// Exactly one probe: a second acquire must be denied while it's out.
+	if b.acquire(after) {
+		t.Fatal("second job admitted during half-open probe")
+	}
+
+	// Probe success closes the breaker.
+	b.success()
+	if state, _ := b.snapshot(); state != breakerClosed {
+		t.Fatalf("after probe success: state=%v", state)
+	}
+	if !b.acquire(after) {
+		t.Fatal("closed breaker denied a job")
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newBreaker(1, time.Second)
+	b.transient(now)
+
+	probeAt := now.Add(time.Second)
+	if !b.acquire(probeAt) {
+		t.Fatal("probe denied")
+	}
+	b.transient(probeAt)
+	if state, opens := b.snapshot(); state != breakerOpen || opens != 2 {
+		t.Fatalf("failed probe: state=%v opens=%d", state, opens)
+	}
+	// A fresh cooldown applies from the probe failure.
+	if b.acquire(probeAt.Add(500 * time.Millisecond)) {
+		t.Fatal("reopened breaker admitted a job mid-cooldown")
+	}
+	if !b.acquire(probeAt.Add(time.Second)) {
+		t.Fatal("reopened breaker denied the next probe after cooldown")
+	}
+}
+
+// Terminal outcomes prove the backend responsive: they reset the streak
+// and close the breaker rather than tripping it.
+func TestBreakerTerminalResets(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newBreaker(2, time.Second)
+	b.transient(now)
+	b.terminal()
+	b.transient(now)
+	if state, _ := b.snapshot(); state != breakerClosed {
+		t.Fatalf("streak survived a terminal outcome: state=%v", state)
+	}
+}
+
+// An abandoned acquire (cancelled hedge loser) frees the half-open probe
+// slot so the backend is not wedged.
+func TestBreakerAbandonFreesProbe(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newBreaker(1, time.Second)
+	b.transient(now)
+
+	probeAt := now.Add(time.Second)
+	if !b.acquire(probeAt) {
+		t.Fatal("probe denied")
+	}
+	b.abandon()
+	if !b.admittable(probeAt) {
+		t.Fatal("abandoned probe slot not freed")
+	}
+	if !b.acquire(probeAt) {
+		t.Fatal("re-probe denied after abandon")
+	}
+	b.success()
+	if state, _ := b.snapshot(); state != breakerClosed {
+		t.Fatalf("state=%v, want closed", state)
+	}
+}

@@ -1,0 +1,135 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// checkpointData is the sweepckpt/v1 on-disk form: every completed
+// point's figure data, bound to the spec it belongs to.
+type checkpointData struct {
+	Schema string                  `json:"schema"`
+	SpecID string                  `json:"spec_id"`
+	Points map[string]*FigurePoint `json:"points"`
+}
+
+// checkpoint is the completed-point ledger. It follows the disk-cache
+// policy proven in the service layer: a checkpoint only saves work, so
+// every defect in the file — missing, truncated, corrupt JSON, stale
+// schema, a different spec's ID — degrades to a counted, logged, empty
+// checkpoint, never a crash and never a *silent* full re-run. Writes
+// are atomic (temp file + rename), so a coordinator killed mid-write
+// leaves the previous complete checkpoint, not a torn one.
+type checkpoint struct {
+	path string // "" disables persistence
+
+	mu   sync.Mutex
+	data checkpointData
+
+	resets    int    // defective loads healed to empty
+	writeErrs uint64 // failed persists (the sweep continues without them)
+}
+
+// openCheckpoint loads (resume) or initializes (fresh) the checkpoint at
+// path. resumed is the number of completed points carried over; every
+// self-healing reset and every overwrite is logged to logw.
+func openCheckpoint(path, specID string, resume bool, logw io.Writer) (ck *checkpoint, resumed int) {
+	ck = &checkpoint{
+		path: path,
+		data: checkpointData{Schema: CheckpointSchema, SpecID: specID, Points: map[string]*FigurePoint{}},
+	}
+	if path == "" {
+		return ck, 0
+	}
+	data, err := os.ReadFile(path)
+	if !resume {
+		if err == nil {
+			fmt.Fprintf(logw, "ddsweep: checkpoint %s exists and -resume is off: starting fresh (the old checkpoint will be overwritten)\n", path)
+		}
+		return ck, 0
+	}
+	switch {
+	case os.IsNotExist(err):
+		fmt.Fprintf(logw, "ddsweep: no checkpoint at %s: full run\n", path)
+		return ck, 0
+	case err != nil:
+		ck.reset(logw, fmt.Sprintf("unreadable (%v)", err))
+		return ck, 0
+	}
+	var loaded checkpointData
+	switch {
+	case json.Unmarshal(data, &loaded) != nil:
+		ck.reset(logw, "corrupt or truncated")
+	case loaded.Schema != CheckpointSchema:
+		ck.reset(logw, fmt.Sprintf("stale schema %q (want %q)", loaded.Schema, CheckpointSchema))
+	case loaded.SpecID != specID:
+		ck.reset(logw, fmt.Sprintf("belongs to spec %s, this sweep is %s", loaded.SpecID, specID))
+	case loaded.Points == nil:
+		ck.reset(logw, "no point table")
+	default:
+		ck.data.Points = loaded.Points
+		resumed = len(loaded.Points)
+		fmt.Fprintf(logw, "ddsweep: resuming from %s: %d completed points carried over\n", path, resumed)
+	}
+	return ck, resumed
+}
+
+// reset heals a defective checkpoint to empty, counting and logging it.
+func (ck *checkpoint) reset(logw io.Writer, reason string) {
+	ck.resets++
+	fmt.Fprintf(logw, "ddsweep: checkpoint %s is %s: treating as empty (full re-run)\n", ck.path, reason)
+}
+
+// completed returns the carried-over figure point for key, if any.
+func (ck *checkpoint) completed(key string) *FigurePoint {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	return ck.data.Points[key]
+}
+
+// record persists fp as completed. The whole file is rewritten via temp
+// + rename on every point: the checkpoint on disk is always a complete,
+// valid snapshot. Persist failures are counted and swallowed — a broken
+// disk costs resumability, not the sweep.
+func (ck *checkpoint) record(fp *FigurePoint) {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	ck.data.Points[fp.Key] = fp
+	if ck.path == "" {
+		return
+	}
+	if err := ck.persistLocked(); err != nil {
+		ck.writeErrs++
+	}
+}
+
+func (ck *checkpoint) persistLocked() error {
+	dir := filepath.Dir(ck.path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(ck.path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(tmp)
+	enc.SetIndent("", "  ")
+	encErr := enc.Encode(ck.data)
+	closeErr := tmp.Close()
+	if encErr != nil || closeErr != nil {
+		os.Remove(tmp.Name())
+		if encErr != nil {
+			return encErr
+		}
+		return closeErr
+	}
+	if err := os.Rename(tmp.Name(), ck.path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,292 @@
+// Package sweep is the distributed sweep coordinator behind the ddsweep
+// tool: it expands a declarative sweep/v1 spec (workload x port-geometry
+// x steering x engine grid with explicit exclusions) into simulation
+// jobs and drives them across N ddserve backends, assembling one
+// deterministic figure JSON at the end.
+//
+// The coordinator is fault-tolerant by construction:
+//
+//   - Multi-backend sharding with load-aware dispatch: each job goes to
+//     a ready backend (health-probed via /readyz) with the fewest jobs
+//     in flight.
+//   - Bounded retries with exponential backoff that honors the server's
+//     Retry-After hint on 429/503 sheds, so client backpressure follows
+//     the service's own admission control.
+//   - Hedged requests: a straggling job is re-issued on a second backend
+//     after a hedge delay; the first result wins and the loser is
+//     cancelled. Hedged duplicates are safe because a job's identity is
+//     its full config key and identical in-flight jobs coalesce
+//     server-side.
+//   - Per-backend circuit breakers (closed/open/half-open): consecutive
+//     transient failures — transport errors, sheds, retryable
+//     simerr-taxonomy kinds — open the breaker and divert traffic;
+//     after a cooldown one half-open probe job decides whether to close
+//     it again. Terminal kinds (bad requests, deterministic budget
+//     failures, contained panics) prove the backend responsive and
+//     never trip the breaker: they are the point's failure, not the
+//     backend's.
+//   - A checkpoint file (sweepckpt/v1, atomic temp+rename after every
+//     completed point) so -resume re-runs only the missing points. A
+//     truncated, corrupt or stale-schema checkpoint is a counted,
+//     logged, self-healing empty checkpoint — never a crash, never a
+//     silent full re-run.
+//
+// The assembled figure JSON is deterministic: points are sorted by
+// their canonical key and carry only simulation outputs (which are a
+// pure function of config+program), so the bytes are identical
+// regardless of backend count, hedging, retries, or the resume path.
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+// Schema tags of the three serialized artifacts.
+const (
+	SpecSchema       = "sweep/v1"
+	FigureSchema     = "ddsweep-figure/v1"
+	CheckpointSchema = "sweepckpt/v1"
+)
+
+// ErrBadSpec marks an unusable sweep spec (schema, dimensions,
+// exclusions): a usage error, the caller's to fix.
+var ErrBadSpec = errors.New("sweep: bad sweep spec")
+
+// Spec is the declarative sweep/v1 grid. Every listed dimension is
+// crossed with every other; Exclude removes individual points.
+type Spec struct {
+	Schema string `json:"schema"`
+	// Name labels the sweep in the figure JSON and logs.
+	Name string `json:"name,omitempty"`
+
+	// Workloads and Ports are the mandatory dimensions: built-in
+	// workload names and "(N+M)" port geometries.
+	Workloads []string `json:"workloads"`
+	Ports     []string `json:"ports"`
+	// Steering, Engines and Modes default to one-element axes
+	// ("hint", "event", "base"). Modes select the optimization level:
+	// base (none), opt (dynamic forwarding + 2-way combining), static
+	// (statically-proven pairs/groups only).
+	Steering []string `json:"steering,omitempty"`
+	Engines  []string `json:"engines,omitempty"`
+	Modes    []string `json:"modes,omitempty"`
+
+	// Scale is the workload scale factor (default 1.0), shared by every
+	// point; per-point scale would break cross-point comparability.
+	Scale float64 `json:"scale,omitempty"`
+	// Combine overrides the combining width for opt/static modes.
+	Combine int `json:"combine,omitempty"`
+	// MaxInsts bounds committed instructions per point (0 = to halt).
+	MaxInsts uint64 `json:"maxinsts,omitempty"`
+	// TimeoutSeconds is the per-job attempt timeout submitted to the
+	// backend (0 = the backend's default).
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+
+	// Exclude removes grid points: a point matching every set field of
+	// any exclusion is dropped (empty field = wildcard).
+	Exclude []Exclusion `json:"exclude,omitempty"`
+}
+
+// Exclusion is one point filter. Empty fields match anything.
+type Exclusion struct {
+	Workload string `json:"workload,omitempty"`
+	Ports    string `json:"ports,omitempty"`
+	Steering string `json:"steering,omitempty"`
+	Engine   string `json:"engine,omitempty"`
+	Mode     string `json:"mode,omitempty"`
+}
+
+func (e Exclusion) matches(p Point) bool {
+	match := func(want, got string) bool { return want == "" || want == got }
+	return match(e.Workload, p.GP.Workload) &&
+		match(e.Ports, p.GP.Ports) &&
+		match(e.Steering, p.steering()) &&
+		match(e.Engine, p.engine()) &&
+		match(e.Mode, p.Mode)
+}
+
+// Point is one expanded grid coordinate: the shared GridPoint mapping
+// plus the sweep-level mode name and the cached canonical key.
+type Point struct {
+	GP   experiments.GridPoint
+	Mode string // base | opt | static
+	Key  string
+}
+
+func (p Point) steering() string {
+	if p.GP.Steering == "" {
+		return "hint"
+	}
+	return p.GP.Steering
+}
+
+func (p Point) engine() string {
+	if p.GP.Engine == "" {
+		return "event"
+	}
+	return p.GP.Engine
+}
+
+// ParseSpec decodes and schema-gates a sweep/v1 spec.
+func ParseSpec(data []byte) (*Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	if s.Schema != SpecSchema {
+		return nil, fmt.Errorf("%w: schema %q, want %q", ErrBadSpec, s.Schema, SpecSchema)
+	}
+	return &s, nil
+}
+
+// normalize fills the defaulted axes in place.
+func (s *Spec) normalize() {
+	if len(s.Steering) == 0 {
+		s.Steering = []string{"hint"}
+	}
+	if len(s.Engines) == 0 {
+		s.Engines = []string{"event"}
+	}
+	if len(s.Modes) == 0 {
+		s.Modes = []string{"base"}
+	}
+	if s.Scale == 0 {
+		s.Scale = 1.0
+	}
+}
+
+// Points expands the grid: every dimension crossed, exclusions applied,
+// duplicates collapsed, the result sorted by canonical key. Every
+// surviving point is validated through the shared GridPoint mapping, so
+// a spec that expands cleanly cannot produce a 400 at submit time.
+func (s *Spec) Points() ([]Point, error) {
+	s.normalize()
+	if len(s.Workloads) == 0 || len(s.Ports) == 0 {
+		return nil, fmt.Errorf("%w: workloads and ports must be non-empty", ErrBadSpec)
+	}
+	if s.Scale < 0 {
+		return nil, fmt.Errorf("%w: negative scale %g", ErrBadSpec, s.Scale)
+	}
+	seen := make(map[string]bool)
+	var points []Point
+	for _, w := range s.Workloads {
+		if _, err := workload.ByName(w); err != nil {
+			return nil, fmt.Errorf("%w: unknown workload %q", ErrBadSpec, w)
+		}
+		for _, ports := range s.Ports {
+			for _, steer := range s.Steering {
+				for _, engine := range s.Engines {
+					for _, mode := range s.Modes {
+						p := Point{
+							GP: experiments.GridPoint{
+								Workload: w,
+								Ports:    ports,
+								Steering: steer,
+								Engine:   engine,
+								Combine:  s.Combine,
+								MaxInsts: s.MaxInsts,
+							},
+							Mode: mode,
+						}
+						switch mode {
+						case "base":
+						case "opt":
+							p.GP.Opt = true
+						case "static":
+							p.GP.StaticOpt = true
+						default:
+							return nil, fmt.Errorf("%w: unknown mode %q (want base, opt or static)", ErrBadSpec, mode)
+						}
+						if _, err := p.GP.Config(); err != nil {
+							return nil, fmt.Errorf("%w: point %s: %v", ErrBadSpec, p.GP.Key(), err)
+						}
+						if _, err := p.GP.RunEngine(); err != nil {
+							return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+						}
+						p.Key = p.GP.Key()
+						excluded := false
+						for _, ex := range s.Exclude {
+							if ex.matches(p) {
+								excluded = true
+								break
+							}
+						}
+						if excluded || seen[p.Key] {
+							continue
+						}
+						seen[p.Key] = true
+						points = append(points, p)
+					}
+				}
+			}
+		}
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("%w: every point excluded", ErrBadSpec)
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].Key < points[j].Key })
+	return points, nil
+}
+
+// ID is the spec's content hash, binding checkpoints and figures to the
+// exact grid they belong to. It hashes the normalized spec JSON, whose
+// field order is fixed by the struct, so the ID is deterministic.
+func (s *Spec) ID() string {
+	norm := *s
+	norm.normalize()
+	data, _ := json.Marshal(norm) // a struct of scalars and string slices cannot fail
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8])
+}
+
+// FigurePoint is one completed point's simulation outputs: a pure
+// function of config+program (no wall-clock, attempt or cache metadata),
+// which is what makes the assembled figure byte-identical across
+// backends, hedging, retries and resume.
+type FigurePoint struct {
+	Key      string `json:"key"`
+	Workload string `json:"workload"`
+	Ports    string `json:"ports"`
+	Steering string `json:"steering"`
+	Engine   string `json:"engine"`
+	Mode     string `json:"mode"`
+
+	Cycles        uint64  `json:"cycles"`
+	Committed     uint64  `json:"committed"`
+	IPC           float64 `json:"ipc"`
+	Loads         uint64  `json:"loads"`
+	Stores        uint64  `json:"stores"`
+	LocalFraction float64 `json:"local_fraction"`
+	Misroutes     uint64  `json:"misroutes"`
+}
+
+// Figure is the assembled sweep result: every completed point, sorted
+// by key.
+type Figure struct {
+	Schema string        `json:"schema"`
+	Name   string        `json:"name,omitempty"`
+	SpecID string        `json:"spec_id"`
+	Scale  float64       `json:"scale"`
+	Points []FigurePoint `json:"points"`
+}
+
+// EncodeJSON writes the figure as indented JSON. The encoding is
+// deterministic: struct field order is fixed and points are pre-sorted.
+func (f *Figure) EncodeJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("sweep: encoding figure: %w", err)
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
